@@ -1,0 +1,1 @@
+bench/ablations.ml: Array Bytes Core Dsm Hw List Mix Nucleus Printf Shadow Util

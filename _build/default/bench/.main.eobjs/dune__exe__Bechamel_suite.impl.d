@@ -1,0 +1,1 @@
+bench/bechamel_suite.ml: Analyze Bechamel Benchmark Core Hashtbl Hw Instance List Measure Printf Staged Test Time Toolkit

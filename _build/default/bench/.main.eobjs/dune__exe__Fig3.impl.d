@@ -1,0 +1,1 @@
+bench/fig3.ml: Bytes Core Format Hw List Printf String Util

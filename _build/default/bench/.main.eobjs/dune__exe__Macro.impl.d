@@ -1,0 +1,1 @@
+bench/macro.ml: Bytes Core List Mix Nucleus Printf Util

@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Bechamel_suite Fig3 Macro Printf Sys Tables

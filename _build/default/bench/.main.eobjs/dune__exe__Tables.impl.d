@@ -1,0 +1,1 @@
+bench/tables.ml: Array Core Filename Hw List Option Printf Shadow Sys Util

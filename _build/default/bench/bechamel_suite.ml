@@ -1,0 +1,96 @@
+(* Wall-clock micro-benchmarks (Bechamel): one test per paper table,
+   measuring the real execution cost of our simulator's hot paths.
+   These complement the simulated-clock tables: absolute 1989
+   milliseconds are reproduced by the cost model, while these numbers
+   show the reproduction itself is fast. *)
+
+open Bechamel
+open Toolkit
+
+let ps = 8192
+
+(* Table 6 path: region create + zero-fill faults + destroy. *)
+let test_table6 =
+  Test.make ~name:"table6: zero-fill 32 pages"
+    (Staged.stage (fun () ->
+         let engine = Hw.Engine.create () in
+         Hw.Engine.run engine (fun () ->
+             let pvm = Core.Pvm.create ~frames:64 ~cost:Hw.Cost.free ~engine () in
+             let ctx = Core.Context.create pvm in
+             let cache = Core.Cache.create pvm () in
+             let region =
+               Core.Region.create pvm ctx ~addr:0 ~size:(32 * ps)
+                 ~prot:Hw.Prot.read_write cache ~offset:0
+             in
+             for p = 0 to 31 do
+               Core.Pvm.touch pvm ctx ~addr:(p * ps) ~access:`Write
+             done;
+             Core.Region.destroy pvm region;
+             Core.Cache.destroy pvm cache)))
+
+(* Table 7 path: deferred copy + forced real copies. *)
+let test_table7 =
+  Test.make ~name:"table7: COW copy + 8 faults"
+    (Staged.stage (fun () ->
+         let engine = Hw.Engine.create () in
+         Hw.Engine.run engine (fun () ->
+             let pvm = Core.Pvm.create ~frames:64 ~cost:Hw.Cost.free ~engine () in
+             let ctx = Core.Context.create pvm in
+             let src = Core.Cache.create pvm () in
+             let _r =
+               Core.Region.create pvm ctx ~addr:0 ~size:(8 * ps)
+                 ~prot:Hw.Prot.read_write src ~offset:0
+             in
+             for p = 0 to 7 do
+               Core.Pvm.touch pvm ctx ~addr:(p * ps) ~access:`Write
+             done;
+             let dst = Core.Cache.create pvm () in
+             Core.Cache.copy pvm ~strategy:`History ~src ~src_off:0 ~dst
+               ~dst_off:0 ~size:(8 * ps) ();
+             for p = 0 to 7 do
+               Core.Pvm.touch pvm ctx ~addr:(p * ps) ~access:`Write
+             done;
+             Core.Cache.destroy pvm dst)))
+
+(* Table 5 analogue: the cost of the machinery itself — one fault. *)
+let test_fault_path =
+  Test.make ~name:"table5: single fault resolution"
+    (Staged.stage (fun () ->
+         let engine = Hw.Engine.create () in
+         Hw.Engine.run engine (fun () ->
+             let pvm = Core.Pvm.create ~frames:8 ~cost:Hw.Cost.free ~engine () in
+             let ctx = Core.Context.create pvm in
+             let cache = Core.Cache.create pvm () in
+             let _r =
+               Core.Region.create pvm ctx ~addr:0 ~size:ps
+                 ~prot:Hw.Prot.read_write cache ~offset:0
+             in
+             Core.Pvm.touch pvm ctx ~addr:0 ~access:`Write)))
+
+let benchmark () =
+  let tests = [ test_table6; test_table7; test_fault_path ] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:None () in
+  let raw =
+    List.map
+      (fun test -> Benchmark.all cfg instances test)
+      tests
+  in
+  let ols =
+    List.map
+      (fun r ->
+        Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true
+                       ~predictors:[| Measure.run |]) Instance.monotonic_clock r)
+      raw
+  in
+  Printf.printf "\nBechamel wall-clock micro-benchmarks (host machine)\n";
+  List.iter
+    (fun tbl ->
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] ->
+            Printf.printf "  %-34s %10.1f ns/run\n" name est
+          | _ -> Printf.printf "  %-34s (no estimate)\n" name)
+        tbl)
+    ols

@@ -1,0 +1,53 @@
+(* Benchmark harness regenerating the paper's evaluation (§5.3).
+
+   Usage: main.exe [table5|table6|table7|prelim|derived|fig3|
+                    ablation-chains|ablation-segcache|ablation-pervpage|ablation-ipc|ablation-dsm|macro|
+                    bechamel|all]
+   With no argument everything runs (the order follows the paper). *)
+
+let usage () =
+  prerr_endline
+    "usage: main.exe \
+     [all|table5|table6|table7|prelim|derived|fig3|ablation-chains|\
+     ablation-segcache|ablation-pervpage|bechamel]";
+  exit 2
+
+let run = function
+  | "table5" -> Tables.table5 ()
+  | "table6" -> Tables.table6 ()
+  | "table7" -> Tables.table7 ()
+  | "prelim" -> Tables.prelim ()
+  | "derived" -> Tables.derived ()
+  | "fig3" -> Fig3.run ()
+  | "ablation-chains" -> Ablations.ablation_chains ()
+  | "ablation-segcache" -> Ablations.ablation_segcache ()
+  | "ablation-pervpage" -> Ablations.ablation_pervpage ()
+  | "ablation-ipc" -> Ablations.ablation_ipc ()
+  | "ablation-dsm" -> Ablations.ablation_dsm ()
+  | "macro" -> Macro.macro ()
+  | "bechamel" -> Bechamel_suite.benchmark ()
+  | "all" ->
+    Tables.prelim ();
+    Tables.table5 ();
+    Tables.table6 ();
+    Tables.table7 ();
+    Tables.derived ();
+    Fig3.run ();
+    Ablations.ablation_chains ();
+    Ablations.ablation_segcache ();
+    Ablations.ablation_pervpage ();
+    Ablations.ablation_ipc ();
+    Ablations.ablation_dsm ();
+    Macro.macro ();
+    Bechamel_suite.benchmark ()
+  | _ -> usage ()
+
+let () =
+  Printf.printf
+    "Chorus GMI/PVM reproduction -- paper evaluation harness\n\
+     (simulated times use the calibrated Sun-3/60 cost profiles; paper \
+     values in parentheses)\n";
+  match Sys.argv with
+  | [| _ |] -> run "all"
+  | [| _; cmd |] -> run cmd
+  | _ -> usage ()

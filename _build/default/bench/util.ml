@@ -1,0 +1,40 @@
+(* Shared helpers for the benchmark harness. *)
+
+let ps = 8192
+let kb n = n * 1024
+
+(* Run [f] in a fresh discrete-event engine and return its result. *)
+let in_sim f =
+  let engine = Hw.Engine.create () in
+  Hw.Engine.run_fn engine (fun () -> f engine)
+
+(* Simulated time consumed by [f], in nanoseconds. *)
+let sim_time engine f =
+  let t0 = Hw.Engine.now engine in
+  f ();
+  Hw.Engine.now engine - t0
+
+let ms_of_ns ns = float_of_int ns /. 1e6
+
+(* Print a paper-style matrix: rows = region sizes, columns = actual
+   amounts.  [cell row col] returns [Some (measured_ms, paper_ms)]. *)
+let print_matrix ~title ~rows ~cols ~cell =
+  Printf.printf "\n%s\n" title;
+  Printf.printf "%-12s" "region";
+  List.iter (fun c -> Printf.printf "  %16s" c) cols;
+  print_newline ();
+  List.iteri
+    (fun ri r ->
+      Printf.printf "%-12s" r;
+      List.iteri
+        (fun ci _ ->
+          match cell ri ci with
+          | None -> Printf.printf "  %16s" "-"
+          | Some (measured, paper) ->
+            Printf.printf "  %7.2f (%6.2f)" measured paper)
+        cols;
+      print_newline ())
+    rows;
+  Printf.printf "%-12s  [cells: measured ms (paper ms)]\n" ""
+
+let mean xs = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)

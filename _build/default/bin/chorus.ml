@@ -1,0 +1,161 @@
+(* chorus — a small CLI over the reproduction.
+
+   Subcommands:
+     info               print the system inventory and versions
+     fig3               replay the paper's Figure 3 scenarios
+     fork N             run the shell fork pattern and report stats
+     dsm N              ping-pong a page between two sites N times
+     inspect            build a small scenario and dump the live
+                        Figure 2 structures
+
+   The full evaluation lives in bench/main.exe; the walkthroughs in
+   examples/. *)
+
+open Cmdliner
+
+let ps = 8192
+
+let in_sim f =
+  let engine = Hw.Engine.create () in
+  Hw.Engine.run_fn engine (fun () -> f engine)
+
+let print_info () =
+  print_endline
+    "chorus-vm: reproduction of 'Generic Virtual Memory Management for\n\
+     Operating System Kernels' (Abrossimov, Rozier, Shapiro; SOSP 1989)";
+  Printf.printf "\nmemory managers implementing the GMI:\n";
+  List.iter
+    (fun name -> Printf.printf "  - %s\n" name)
+    [
+      Core.Pvm_gmi.name; Minimal.Minimal_gmi.name; Simulator.Sim_gmi.name;
+    ];
+  Printf.printf
+    "\nevaluation:  dune exec bench/main.exe\nwalkthroughs: dune exec \
+     examples/quickstart.exe (and six more)\n"
+
+let fig3 () =
+  in_sim (fun engine ->
+      let pvm = Core.Pvm.create ~frames:256 ~cost:Hw.Cost.free ~engine () in
+      let ctx = Core.Context.create pvm in
+      let mk base =
+        let cache = Core.Cache.create pvm () in
+        let _ =
+          Core.Region.create pvm ctx ~addr:base ~size:(4 * ps)
+            ~prot:Hw.Prot.read_write cache ~offset:0
+        in
+        cache
+      in
+      let src = mk 0 and cpy1 = mk (1024 * ps) and cpy2 = mk (2048 * ps) in
+      Core.Pvm.write pvm ctx ~addr:ps (Bytes.make ps '1');
+      let copy dst =
+        Core.Cache.copy pvm ~strategy:`History ~src ~src_off:0 ~dst
+          ~dst_off:0 ~size:(4 * ps) ()
+      in
+      copy cpy1;
+      Core.Pvm.write pvm ctx ~addr:ps (Bytes.make ps 'X');
+      copy cpy2;
+      Format.printf "%a@." Core.Pvm.pp_history_tree src)
+
+let fork n =
+  in_sim (fun engine ->
+      let site = Nucleus.Site.create ~frames:2048 ~engine () in
+      let images = Mix.Image.create_store site in
+      let _ =
+        Mix.Image.add_image images ~name:"sh"
+          ~text:(Bytes.make (4 * ps) 'T')
+          ~data:(Bytes.make (4 * ps) 'D')
+          ()
+      in
+      let m = Mix.Process.create_manager site images in
+      let shell = Mix.Process.spawn_init m ~image:"sh" in
+      Core.Pvm.reset_stats site.Nucleus.Site.pvm;
+      let t0 = Hw.Engine.now engine in
+      for i = 1 to n do
+        let child = Mix.Process.fork m shell in
+        Mix.Process.write shell ~addr:Mix.Process.data_base
+          (Bytes.make 32 (Char.chr (65 + (i mod 26))));
+        Mix.Process.exit_ m child ~status:0;
+        ignore (Mix.Process.wait m shell)
+      done;
+      let stats = Core.Pvm.stats site.Nucleus.Site.pvm in
+      Printf.printf
+        "%d fork/exit rounds: %.2f sim-ms, %d pages really copied, %d \
+         history objects, invariants %s\n"
+        n
+        (float_of_int (Hw.Engine.now engine - t0) /. 1e6)
+        stats.Core.Types.n_cow_copies stats.n_history_created
+        (match Core.Pvm.check_invariant site.Nucleus.Site.pvm with
+        | [] -> "OK"
+        | e -> String.concat "; " e))
+
+let dsm n =
+  in_sim (fun engine ->
+      let seg =
+        Dsm.Coherent.create ~latency:(Hw.Sim_time.ms 2) ~size:(4 * ps)
+          ~page_size:ps ()
+      in
+      let mk () =
+        let pvm = Core.Pvm.create ~frames:32 ~engine () in
+        let site = Dsm.Coherent.attach seg pvm in
+        let ctx = Core.Context.create pvm in
+        let _ =
+          Core.Region.create pvm ctx ~addr:0 ~size:(4 * ps)
+            ~prot:Hw.Prot.read_write (Dsm.Coherent.cache site) ~offset:0
+        in
+        (pvm, ctx)
+      in
+      let a = mk () and b = mk () in
+      let t0 = Hw.Engine.now engine in
+      for i = 1 to n do
+        let pvm, ctx = if i mod 2 = 0 then a else b in
+        Core.Pvm.write pvm ctx ~addr:0
+          (Bytes.of_string (Printf.sprintf "round-%d" i))
+      done;
+      let stats = Dsm.Coherent.stats seg in
+      Printf.printf
+        "%d alternating writes: %.1f sim-ms, %d transfers, %d \
+         invalidations\n"
+        n
+        (float_of_int (Hw.Engine.now engine - t0) /. 1e6)
+        stats.Dsm.Coherent.page_transfers stats.invalidations)
+
+let inspect () =
+  in_sim (fun engine ->
+      let pvm = Core.Pvm.create ~frames:64 ~cost:Hw.Cost.free ~engine () in
+      let ctx = Core.Context.create pvm in
+      let src = Core.Cache.create pvm () in
+      let dst = Core.Cache.create pvm () in
+      let _ =
+        Core.Region.create pvm ctx ~addr:0 ~size:(4 * ps)
+          ~prot:Hw.Prot.read_write src ~offset:0
+      in
+      Core.Pvm.write pvm ctx ~addr:0 (Bytes.make (2 * ps) 's');
+      Core.Cache.copy pvm ~strategy:`History ~src ~src_off:0 ~dst ~dst_off:0
+        ~size:(4 * ps) ();
+      Core.Pvm.write pvm ctx ~addr:0 (Bytes.make 8 'w');
+      Format.printf "%a@.@.%a@." Core.Inspect.pp_state pvm
+        Core.Inspect.pp_context ctx)
+
+let n_arg ~doc default =
+  Arg.(value & pos 0 int default & info [] ~docv:"N" ~doc)
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "info" ~doc:"inventory and pointers")
+      Term.(const print_info $ const ());
+    Cmd.v (Cmd.info "fig3" ~doc:"replay the paper's Figure 3")
+      Term.(const fig3 $ const ());
+    Cmd.v
+      (Cmd.info "fork" ~doc:"run N fork/exit rounds on Chorus/MIX")
+      Term.(const fork $ n_arg ~doc:"number of forks" 16);
+    Cmd.v
+      (Cmd.info "dsm" ~doc:"ping-pong a shared page between two sites")
+      Term.(const dsm $ n_arg ~doc:"number of writes" 10);
+    Cmd.v
+      (Cmd.info "inspect" ~doc:"dump live PVM structures for a tiny scenario")
+      Term.(const inspect $ const ());
+  ]
+
+let () =
+  let doc = "the Chorus GMI/PVM reproduction" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "chorus" ~doc) cmds))

@@ -1,0 +1,1 @@
+dev/debug_ipc.ml: Bytes Char Hw Nucleus Printf

@@ -1,0 +1,1 @@
+dev/debug_prop.ml: Array Bytes Core Fun Hashtbl Hw List Printf Scanf String Sys

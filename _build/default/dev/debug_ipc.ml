@@ -1,0 +1,42 @@
+(* Debug the IPC pipeline corruption. *)
+
+let ps = 8192
+
+let () =
+  let engine = Hw.Engine.create () in
+  Hw.Engine.run engine (fun () ->
+      let site = Nucleus.Site.create ~frames:256 ~cost:Hw.Cost.free ~engine () in
+      let transit = Nucleus.Transit.create site ~slots:4 () in
+      let producer = Nucleus.Actor.create site in
+      let consumer = Nucleus.Actor.create site in
+      let _ =
+        Nucleus.Actor.rgn_allocate producer ~addr:0 ~size:(64 * ps)
+          ~prot:Hw.Prot.read_write
+      in
+      let _ =
+        Nucleus.Actor.rgn_allocate consumer ~addr:0 ~size:(64 * ps)
+          ~prot:Hw.Prot.read_write
+      in
+      let endpoint = Nucleus.Ipc.make_endpoint ~name:"stream" () in
+      let messages = 16 and msg_pages = 8 in
+      Nucleus.Actor.spawn_thread producer ~name:"producer" (fun () ->
+          for i = 0 to messages - 1 do
+            let base = i mod 4 * msg_pages * ps in
+            Nucleus.Actor.write producer ~addr:base
+              (Bytes.make (msg_pages * ps) (Char.chr (65 + (i mod 26))));
+            Nucleus.Ipc.send producer transit ~dst:endpoint ~addr:base
+              ~len:(msg_pages * ps);
+            Printf.printf "sent %d (%c) from base %d\n" i
+              (Char.chr (65 + (i mod 26)))
+              (base / ps)
+          done);
+      Nucleus.Actor.spawn_thread consumer ~name:"consumer" (fun () ->
+          for i = 0 to messages - 1 do
+            let len = Nucleus.Ipc.receive consumer transit endpoint ~addr:0 in
+            let first =
+              Bytes.get (Nucleus.Actor.read consumer ~addr:0 ~len:1) 0
+            in
+            Printf.printf "recv %d: len=%d first=%c (want %c)%s\n" i len first
+              (Char.chr (65 + (i mod 26)))
+              (if first <> Char.chr (65 + (i mod 26)) then "  <-- BAD" else "")
+          done))

@@ -1,0 +1,1 @@
+examples/diskless.ml: Bytes Format Hw Net Nucleus Printf Seg

@@ -1,0 +1,1 @@
+examples/dsm_demo.ml: Bytes Core Dsm Format Hw Printf

@@ -1,0 +1,1 @@
+examples/ipc_pipeline.ml: Bytes Char Core Hw Nucleus Printf

@@ -1,0 +1,1 @@
+examples/make_workload.ml: Bytes Hw Mix Nucleus Printf Seg

@@ -1,0 +1,1 @@
+examples/make_workload.mli:

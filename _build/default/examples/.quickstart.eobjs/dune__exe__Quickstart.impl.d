@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Core Format Hw Printf Seg

@@ -1,0 +1,1 @@
+examples/unified_cache.ml: Bytes Hw Mix Nucleus Printf

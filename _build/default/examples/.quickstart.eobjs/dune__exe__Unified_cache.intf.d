@@ -1,0 +1,1 @@
+examples/unified_cache.mli:

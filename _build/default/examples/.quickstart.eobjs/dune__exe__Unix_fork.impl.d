@@ -1,0 +1,1 @@
+examples/unix_fork.ml: Bytes Core Format Hw Mix Nucleus Printf Seg String

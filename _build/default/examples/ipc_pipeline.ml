@@ -1,0 +1,62 @@
+(* IPC and memory management (paper §5.1.6): a producer thread streams
+   64 KB messages through ports to a consumer in another actor.  The
+   payload crosses the kernel's transit segment; page-aligned sends
+   defer the copy per page, and the receive moves page frames instead
+   of copying them.
+
+   Run with: dune exec examples/ipc_pipeline.exe *)
+
+let ps = 8192
+
+let () =
+  let engine = Hw.Engine.create () in
+  Hw.Engine.run engine (fun () ->
+      let site = Nucleus.Site.create ~frames:256 ~engine () in
+      let pvm = site.Nucleus.Site.pvm in
+      let transit = Nucleus.Transit.create site ~slots:4 () in
+
+      let producer = Nucleus.Actor.create site in
+      let consumer = Nucleus.Actor.create site in
+      let _ =
+        Nucleus.Actor.rgn_allocate producer ~addr:0 ~size:(64 * ps)
+          ~prot:Hw.Prot.read_write
+      in
+      let _ =
+        Nucleus.Actor.rgn_allocate consumer ~addr:0 ~size:(64 * ps)
+          ~prot:Hw.Prot.read_write
+      in
+      let endpoint = Nucleus.Ipc.make_endpoint ~name:"stream" () in
+
+      let messages = 16 and msg_pages = 8 in
+      let received = ref 0 in
+
+      Nucleus.Actor.spawn_thread producer ~name:"producer" (fun () ->
+          for i = 0 to messages - 1 do
+            (* build a page-aligned 64 KB message in place *)
+            let base = i mod 4 * msg_pages * ps in
+            Nucleus.Actor.write producer ~addr:base
+              (Bytes.make (msg_pages * ps) (Char.chr (65 + (i mod 26))));
+            Nucleus.Ipc.send producer transit ~dst:endpoint ~addr:base
+              ~len:(msg_pages * ps)
+          done;
+          Printf.printf "producer: %d messages sent\n" messages);
+
+      Nucleus.Actor.spawn_thread consumer ~name:"consumer" (fun () ->
+          for i = 0 to messages - 1 do
+            let len =
+              Nucleus.Ipc.receive consumer transit endpoint ~addr:0
+            in
+            let first = Bytes.get (Nucleus.Actor.read consumer ~addr:0 ~len:1) 0 in
+            assert (len = msg_pages * ps);
+            assert (first = Char.chr (65 + (i mod 26)));
+            incr received
+          done;
+          let stats = Core.Pvm.stats pvm in
+          Printf.printf "consumer: %d messages received and verified\n"
+            !received;
+          Printf.printf
+            "transport: %d page frames moved by reassignment, %d pages \
+             eagerly copied, %d deferred stubs resolved\n"
+            stats.Core.Types.n_moved_pages stats.n_eager_pages
+            stats.n_stub_resolves));
+  Printf.printf "pipeline complete\n"

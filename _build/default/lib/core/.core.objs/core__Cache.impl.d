@@ -1,0 +1,1 @@
+lib/core/cache.ml: Bytes Fault Global_map Hashtbl History Hw Install List Pager Parents Pervpage Pmap Printf Sys Types Value

@@ -1,0 +1,1 @@
+lib/core/context.ml: Fault Hw List Region Types

@@ -1,0 +1,1 @@
+lib/core/fault.ml: Global_map Gmi History Hw Install List Pager Parents Pervpage Pmap Types Value

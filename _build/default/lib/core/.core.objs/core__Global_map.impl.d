@@ -1,0 +1,1 @@
+lib/core/global_map.ml: Hashtbl Hw Types

@@ -1,0 +1,1 @@
+lib/core/global_map.mli: Hw Types

@@ -1,0 +1,1 @@
+lib/core/gmi.ml: Bytes Format Hw

@@ -1,0 +1,1 @@
+lib/core/gmi.mli: Bytes Format Hw

@@ -1,0 +1,1 @@
+lib/core/history.ml: Format Fun Global_map Hashtbl Hw Install List Pager Parents Pmap Printf String Types

@@ -1,0 +1,1 @@
+lib/core/inspect.ml: Format Hashtbl History Hw List Printf String Types

@@ -1,0 +1,1 @@
+lib/core/install.ml: Global_map Hashtbl Hw List Option Pmap Types

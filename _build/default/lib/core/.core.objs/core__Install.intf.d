@@ -1,0 +1,1 @@
+lib/core/install.mli: Gmi Hw Types

@@ -1,0 +1,1 @@
+lib/core/pager.ml: Bytes Fun Global_map Gmi Hashtbl Hw Install List Pmap Types

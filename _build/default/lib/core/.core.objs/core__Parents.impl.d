@@ -1,0 +1,1 @@
+lib/core/parents.ml: List Types

@@ -1,0 +1,1 @@
+lib/core/parents.mli: Types

@@ -1,0 +1,1 @@
+lib/core/pervpage.ml: Fun Global_map Hashtbl History Hw Install List Pager Pmap Types Value

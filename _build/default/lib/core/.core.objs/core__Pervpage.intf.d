@@ -1,0 +1,1 @@
+lib/core/pervpage.mli: Types

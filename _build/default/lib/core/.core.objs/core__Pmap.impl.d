@@ -1,0 +1,1 @@
+lib/core/pmap.ml: Array Hw List Types

@@ -1,0 +1,1 @@
+lib/core/pmap.mli: Hw Types

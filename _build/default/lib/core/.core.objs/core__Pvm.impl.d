@@ -1,0 +1,1 @@
+lib/core/pvm.ml: Array Bytes Cache Fault Hashtbl History Hw Pager Types

@@ -1,0 +1,1 @@
+lib/core/pvm.mli: Bytes Format Gmi Hw Types

@@ -1,0 +1,1 @@
+lib/core/pvm_gmi.ml: Cache Context Gmi Pvm Region

@@ -1,0 +1,1 @@
+lib/core/region.ml: Fault Hw List Pmap Types

@@ -1,0 +1,1 @@
+lib/core/value.ml: Bytes Global_map Hashtbl History Hw Install Pager Parents Pmap Printf Types

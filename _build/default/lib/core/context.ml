@@ -1,0 +1,45 @@
+(* Context (address space) operations of the GMI (Table 2). *)
+
+open Types
+
+(* contextCreate: an empty protected address space. *)
+let create pvm =
+  let ctx =
+    {
+      ctx_id = next_id pvm;
+      ctx_pvm = pvm;
+      ctx_space = Hw.Mmu.create_space pvm.mmu;
+      ctx_regions = [];
+      ctx_alive = true;
+    }
+  in
+  pvm.contexts <- ctx :: pvm.contexts;
+  ctx
+
+(* context.switch: set the current user context. *)
+let switch pvm (ctx : context) =
+  check_context_alive ctx;
+  pvm.current <- Some ctx
+
+let current pvm = pvm.current
+
+(* context.getRegionList *)
+let region_list (ctx : context) =
+  check_context_alive ctx;
+  ctx.ctx_regions
+
+(* context.findRegion: used by the Chorus rgn*FromActor operations. *)
+let find_region (ctx : context) ~addr =
+  check_context_alive ctx;
+  Fault.find_region ctx ~addr
+
+(* context.destroy *)
+let destroy pvm (ctx : context) =
+  check_context_alive ctx;
+  List.iter (fun r -> Region.destroy pvm r) ctx.ctx_regions;
+  Hw.Mmu.destroy_space ctx.ctx_space;
+  pvm.contexts <- List.filter (fun c -> not (c == ctx)) pvm.contexts;
+  (match pvm.current with
+  | Some c when c == ctx -> pvm.current <- None
+  | Some _ | None -> ());
+  ctx.ctx_alive <- false

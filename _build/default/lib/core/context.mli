@@ -1,0 +1,23 @@
+(** Context (address space) operations of the GMI (Table 2).
+
+    A context is a program's protected virtual address space, sparsely
+    populated with non-overlapping regions. *)
+
+val create : Types.pvm -> Types.context
+(** contextCreate: an empty address space. *)
+
+val switch : Types.pvm -> Types.context -> unit
+(** context.switch: set the current user context. *)
+
+val current : Types.pvm -> Types.context option
+
+val region_list : Types.context -> Types.region list
+(** context.getRegionList, sorted by start address. *)
+
+val find_region : Types.context -> addr:int -> Types.region option
+(** context.findRegion (used by the Chorus rgn*FromActor
+    operations). *)
+
+val destroy : Types.pvm -> Types.context -> unit
+(** context.destroy: destroys the remaining regions and the hardware
+    address space. *)

@@ -1,0 +1,183 @@
+(* Page-fault handling (paper §4.1.2) and the write-violation
+   algorithms of §4.2.2/§4.2.3.
+
+   [handle] is the trap handler: it finds the faulting region,
+   computes the offset in the segment, consults the global map and
+   resolves.  The MMU mapping installed at the end is what makes the
+   retried access succeed. *)
+
+open Types
+
+let find_region (ctx : context) ~addr =
+  List.find_opt
+    (fun r -> addr >= r.r_addr && addr < r.r_addr + r.r_size)
+    ctx.ctx_regions
+
+(* Give [cache] its own copy of the value currently visible at [off]
+   (a write miss in a copy, or a copy-on-reference read miss).  When
+   the cache has its own history object still missing that offset, the
+   history also receives a copy of the (pre-divergence) value — the
+   complication of §4.2.3: at the time the history was created, its
+   value was logically taken from the same source. *)
+let child_copy pvm (cache : cache) ~off =
+  let finish source_frame =
+    let frame = Pager.alloc_frame pvm in
+    (match source_frame with
+    | Some (sf : Hw.Phys_mem.frame) ->
+      charge pvm pvm.cost.t_bcopy_page;
+      Hw.Phys_mem.bcopy ~src:sf ~dst:frame;
+      pvm.stats.n_cow_copies <- pvm.stats.n_cow_copies + 1
+    | None ->
+      charge pvm pvm.cost.t_bzero_page;
+      Hw.Phys_mem.bzero frame;
+      pvm.stats.n_zero_fills <- pvm.stats.n_zero_fills + 1);
+    let page =
+      Install.insert_page pvm cache ~off frame ~pulled_prot:Hw.Prot.all
+        ~cow_protected:false
+    in
+    page.p_dirty <- true;
+    page
+  in
+  match Value.source_value pvm cache ~off with
+  | `Page sp ->
+    Pervpage.with_wired sp (fun () ->
+        (match History.covered_and_missing pvm cache ~off with
+        | Some (h, h_off) ->
+          ignore (History.store_original pvm ~src_page:sp ~h ~h_off)
+        | None -> ());
+        finish (Some sp.p_frame))
+  | `Zero ->
+    (match History.covered_and_missing pvm cache ~off with
+    | Some (h, h_off) ->
+      let frame = Pager.alloc_frame pvm in
+      charge pvm pvm.cost.t_bzero_page;
+      Hw.Phys_mem.bzero frame;
+      let hp =
+        Install.insert_page pvm h ~off:h_off frame ~pulled_prot:Hw.Prot.all
+          ~cow_protected:(History.is_covered h ~off:h_off)
+      in
+      hp.p_dirty <- true
+    | None -> ());
+    finish None
+
+(* Make sure [cache] owns a resident page at [off] that is safe to
+   write: originals pushed to the history, per-page stubs flushed,
+   write access obtained from the segment if the data was pulled
+   read-only.  Used by the fault handler and by the explicit copy
+   operations of Table 1. *)
+let rec own_writable_page pvm (cache : cache) ~off =
+  (* [prepare] clears everything that makes writing [p] unsafe; every
+     branch funnels through it, including pages freshly created by
+     [child_copy] or zero-fill, which may have had pending stubs
+     re-threaded onto them at insertion. *)
+  let prepare (p : page) =
+    (* Pinned: flushing stubs and saving originals allocate frames,
+       which must not reclaim [p] itself. *)
+    Pervpage.with_wired p (fun () ->
+        if p.p_cow_stubs <> [] then begin
+          Pervpage.flush_stubs pvm p;
+          Pmap.refresh_prot pvm p
+        end;
+        if p.p_cow_protected then History.resolve_source_write pvm p;
+        if not (Hw.Prot.allows p.p_pulled_prot `Write) then begin
+          (match cache.c_backing with
+          | Some b -> b.b_get_write_access ~offset:off ~size:(page_size pvm)
+          | None -> ());
+          p.p_pulled_prot <- Hw.Prot.read_write;
+          Pmap.refresh_prot pvm p
+        end;
+        p.p_dirty <- true;
+        p)
+  in
+  match Global_map.wait_not_in_transit pvm cache ~off with
+  | Some (Resident p) -> prepare p
+  | Some (Cow_stub s) ->
+    let p = Pervpage.resolve_write pvm s in
+    prepare p
+  | Some (Sync_stub _) -> assert false
+  | None ->
+    if Value.has_swapped cache ~off then begin
+      ignore (Value.pull_in_page pvm cache ~off ~prot:Hw.Prot.all);
+      own_writable_page pvm cache ~off
+    end
+    else if Parents.find_covering cache ~off <> None then
+      prepare (child_copy pvm cache ~off)
+    else if cache.c_backing <> None && not cache.c_anonymous then begin
+      ignore (Value.pull_in_page pvm cache ~off ~prot:Hw.Prot.read_write);
+      own_writable_page pvm cache ~off
+    end
+    else prepare (Value.zero_fill_page pvm cache ~off)
+
+(* Resolve a fault against (region, cache, off) and install the MMU
+   mapping at [vpn]. *)
+let rec resolve pvm (region : region) (cache : cache) ~off ~vpn ~access =
+  match Global_map.wait_not_in_transit pvm cache ~off with
+  | Some (Resident _) ->
+    (match access with
+    | `Write -> ignore (own_writable_page pvm cache ~off)
+    | `Read | `Execute -> ());
+    (* own_writable_page may have replaced structures; re-fetch. *)
+    (match Global_map.peek pvm cache ~off with
+    | Some (Resident p') -> Pmap.enter pvm p' region ~vpn
+    | _ -> resolve pvm region cache ~off ~vpn ~access)
+  | Some (Cow_stub s) -> (
+    match access with
+    | `Write ->
+      let p = own_writable_page pvm cache ~off in
+      Pmap.enter pvm p region ~vpn
+    | `Read | `Execute -> (
+      match Pervpage.resolve_read pvm s with
+      | `Borrow p -> Pmap.enter pvm p region ~vpn
+      | `Own p -> Pmap.enter pvm p region ~vpn))
+  | Some (Sync_stub _) -> assert false
+  | None -> (
+    match access with
+    | `Write ->
+      let p = own_writable_page pvm cache ~off in
+      Pmap.enter pvm p region ~vpn
+    | `Read | `Execute -> (
+      if Value.has_swapped cache ~off then begin
+        ignore (Value.pull_in_page pvm cache ~off ~prot:Hw.Prot.all);
+        resolve pvm region cache ~off ~vpn ~access
+      end
+      else
+        match Parents.find_covering cache ~off with
+        | Some frag -> (
+          match frag.f_policy with
+          | `Copy_on_reference ->
+            let p = child_copy pvm cache ~off in
+            Pmap.enter pvm p region ~vpn
+          | `Copy_on_write -> (
+            match Value.source_value pvm cache ~off with
+            | `Page p ->
+              (* Borrowed read-only mapping of the ancestor's page. *)
+              Pmap.enter pvm p region ~vpn
+            | `Zero ->
+              let p = Value.zero_fill_page pvm cache ~off in
+              Pmap.enter pvm p region ~vpn))
+        | None ->
+          if cache.c_backing <> None && not cache.c_anonymous then begin
+            (* Cached data carries the rights of pullIn's accessMode
+               (§3.3.3): a read fault pulls read-only; a later write
+               upgrades through getWriteAccess. *)
+            ignore (Value.pull_in_page pvm cache ~off ~prot:Hw.Prot.read_only);
+            resolve pvm region cache ~off ~vpn ~access
+          end
+          else begin
+            let p = Value.zero_fill_page pvm cache ~off in
+            Pmap.enter pvm p region ~vpn
+          end))
+
+let handle pvm (ctx : context) ~addr ~(access : Hw.Mmu.access) =
+  check_context_alive ctx;
+  pvm.stats.n_faults <- pvm.stats.n_faults + 1;
+  charge pvm pvm.cost.t_fault_dispatch;
+  match find_region ctx ~addr with
+  | None -> raise (Gmi.Segmentation_fault addr)
+  | Some region ->
+    if not (Hw.Prot.allows region.r_prot access) then
+      raise (Gmi.Protection_fault addr);
+    let off = page_align_down pvm (region.r_offset + (addr - region.r_addr)) in
+    let vpn = addr / page_size pvm in
+    charge pvm pvm.cost.t_map_lookup;
+    resolve pvm region region.r_cache ~off ~vpn ~access

@@ -1,0 +1,40 @@
+(** Page-fault handling: the paper's §4.1.2 algorithm plus the
+    write-violation resolutions of §4.2.2/§4.2.3.
+
+    [handle] is the trap handler: find the faulting region in the
+    current context, compute the offset in the segment, consult the
+    global map, resolve (zero-fill, pullIn, history walk, stub
+    resolution, original-saving) and install the MMU translation that
+    makes the retried access succeed. *)
+
+val find_region : Types.context -> addr:int -> Types.region option
+
+val child_copy : Types.pvm -> Types.cache -> off:int -> Types.page
+(** Give the cache its own copy of the value currently visible at
+    [off] (a write miss in a copy, or a copy-on-reference read miss).
+    Implements the §4.2.3 complication: if the cache's own history
+    still misses that offset, it also receives a copy of the
+    pre-divergence value. *)
+
+val own_writable_page : Types.pvm -> Types.cache -> off:int -> Types.page
+(** Ensure the cache owns a resident page at [off] that is safe to
+    write: stubs flushed, originals saved, write access obtained from
+    the segment if the data was pulled read-only, page dirty.  Used by
+    the fault handler and by the explicit copy operations of
+    Table 1. *)
+
+val resolve :
+  Types.pvm ->
+  Types.region ->
+  Types.cache ->
+  off:int ->
+  vpn:int ->
+  access:Hw.Mmu.access ->
+  unit
+(** Resolve a fault against (region, cache, off) and install the MMU
+    mapping at [vpn]. *)
+
+val handle : Types.pvm -> Types.context -> addr:int -> access:Hw.Mmu.access -> unit
+(** The trap handler.
+    @raise Gmi.Segmentation_fault if no region covers [addr].
+    @raise Gmi.Protection_fault if the region forbids the access. *)

@@ -1,0 +1,46 @@
+(* The single global map of the PVM (paper §4.1.1): real page
+   descriptors hashed by (cache, offset in segment).  An entry may
+   also be a synchronization page stub (page in transit, §4.1.2) or a
+   per-virtual-page copy-on-write stub (§4.3). *)
+
+open Types
+
+let key (cache : cache) off : gkey = (cache.c_id, off)
+
+let find pvm cache ~off =
+  charge pvm pvm.cost.t_map_lookup;
+  Hashtbl.find_opt pvm.gmap (key cache off)
+
+(* Lookup without charging the simulated clock, for internal
+   bookkeeping that a real implementation would do with direct
+   pointers rather than a map probe. *)
+let peek pvm cache ~off = Hashtbl.find_opt pvm.gmap (key cache off)
+
+let set pvm cache ~off entry = Hashtbl.replace pvm.gmap (key cache off) entry
+
+let remove pvm cache ~off = Hashtbl.remove pvm.gmap (key cache off)
+
+(* Wait until no synchronization stub covers (cache, off); returns the
+   current entry, if any.  Loops because a woken fibre may find a new
+   stub installed by a concurrent operation. *)
+let rec wait_not_in_transit pvm cache ~off =
+  match peek pvm cache ~off with
+  | Some (Sync_stub cond) ->
+    Hw.Engine.Cond.wait cond;
+    wait_not_in_transit pvm cache ~off
+  | other -> other
+
+(* Install a synchronization stub for a page about to be pulled in or
+   pushed out; any future access to the page sleeps until [finish] is
+   called (paper §4.1.2). *)
+let insert_sync_stub pvm cache ~off =
+  charge pvm pvm.cost.t_stub_insert;
+  let cond = Hw.Engine.Cond.create () in
+  set pvm cache ~off (Sync_stub cond);
+  cond
+
+let finish_sync_stub pvm cache ~off cond replacement =
+  (match replacement with
+  | Some entry -> set pvm cache ~off entry
+  | None -> remove pvm cache ~off);
+  Hw.Engine.Cond.broadcast cond

@@ -1,0 +1,82 @@
+type fill_up = offset:int -> Bytes.t -> unit
+type copy_back = offset:int -> size:int -> Bytes.t
+
+type backing = {
+  b_name : string;
+  b_pull_in : offset:int -> size:int -> prot:Hw.Prot.t -> fill_up:fill_up -> unit;
+  b_get_write_access : offset:int -> size:int -> unit;
+  b_push_out : offset:int -> size:int -> copy_back:copy_back -> unit;
+}
+
+type copy_strategy = [ `Auto | `Eager | `History | `Per_page ]
+type copy_policy = [ `Copy_on_write | `Copy_on_reference ]
+
+exception Segmentation_fault of int
+exception Protection_fault of int
+exception No_memory
+
+let pp_strategy ppf = function
+  | `Auto -> Format.pp_print_string ppf "auto"
+  | `Eager -> Format.pp_print_string ppf "eager"
+  | `History -> Format.pp_print_string ppf "history"
+  | `Per_page -> Format.pp_print_string ppf "per-page"
+
+let pp_policy ppf = function
+  | `Copy_on_write -> Format.pp_print_string ppf "copy-on-write"
+  | `Copy_on_reference -> Format.pp_print_string ppf "copy-on-reference"
+
+module type S = sig
+  type t
+  type context
+  type region
+  type cache
+
+  val name : string
+
+  val create :
+    ?page_size:int ->
+    ?cost:Hw.Cost.profile ->
+    frames:int ->
+    engine:Hw.Engine.t ->
+    unit ->
+    t
+
+  val page_size : t -> int
+  val context_create : t -> context
+  val context_destroy : t -> context -> unit
+
+  val region_create :
+    t ->
+    context ->
+    addr:int ->
+    size:int ->
+    prot:Hw.Prot.t ->
+    cache ->
+    offset:int ->
+    region
+
+  val region_destroy : t -> region -> unit
+  val region_set_protection : t -> region -> Hw.Prot.t -> unit
+  val region_lock : t -> region -> unit
+  val region_unlock : t -> region -> unit
+  val cache_create : t -> ?backing:backing -> unit -> cache
+  val cache_destroy : t -> cache -> unit
+
+  val copy :
+    t ->
+    ?strategy:copy_strategy ->
+    src:cache ->
+    src_off:int ->
+    dst:cache ->
+    dst_off:int ->
+    size:int ->
+    unit ->
+    unit
+
+  val fill_up : t -> cache -> offset:int -> Bytes.t -> unit
+  val copy_back : t -> cache -> offset:int -> size:int -> Bytes.t
+  val sync : t -> cache -> offset:int -> size:int -> unit
+  val touch : t -> context -> addr:int -> access:Hw.Mmu.access -> unit
+  val read : t -> context -> addr:int -> len:int -> Bytes.t
+  val write : t -> context -> addr:int -> Bytes.t -> unit
+end

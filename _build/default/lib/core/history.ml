@@ -1,0 +1,285 @@
+(* History objects (paper §4.2): deferred copy of large data.
+
+   Copies between segments build trees of their caches.  The shape
+   invariant: the tree is binary, and each source of a copy operation
+   has a single immediate descendant, its history object.  As pages
+   are modified in a source, their original version is placed in its
+   history object; pages missing from a cache are found by looking
+   upwards in the tree (the [c_parents] fragments).
+
+   Two refinements over the paper's prose, both documented in
+   DESIGN.md:
+   - the paper's "simple case" (the fresh copy itself serves as the
+     source's history) is only taken when source and destination
+     offsets coincide, because originals are stored at source offsets;
+     shifted copies get a working cache straight away;
+   - working caches cover the whole source window with an identity
+     fragment, so they can absorb originals for any later-copied
+     range. *)
+
+open Types
+
+let whole_window = max_int / 2
+
+(* The copied range (in source offsets) that [src]'s history object is
+   responsible for, derived from the fragments of the history that
+   name [src] as parent — no separate bookkeeping needed. *)
+let covering_history (src : cache) ~off =
+  match src.c_history with
+  | None -> None
+  | Some h ->
+    let covers f =
+      f.f_parent == src && off >= f.f_parent_off
+      && off < f.f_parent_off + f.f_size
+    in
+    (match List.find_opt covers h.c_parents with
+    | Some f -> Some (h, off - f.f_parent_off + f.f_off)
+    | None -> None)
+
+(* A source write at [off] must save the original iff the history
+   covers the offset and has not yet got its own version of the page —
+   resident, deferred (stub), in transit, or paged out to its swap. *)
+let covered_and_missing pvm (src : cache) ~off =
+  match covering_history src ~off with
+  | None -> None
+  | Some (h, h_off) -> (
+    match Global_map.peek pvm h ~off:h_off with
+    | Some _ -> None
+    | None ->
+      if h.c_anonymous && Hashtbl.mem h.c_backed_offs h_off then None
+      else Some (h, h_off))
+
+let is_covered src ~off = covering_history src ~off <> None
+
+(* Store a copy of [src_page] (its original value) into history cache
+   [h] at [h_off].  The stored page is dirty (its value exists nowhere
+   else) and itself read-protected when [h] has a history covering it. *)
+let store_original pvm ~(src_page : page) ~(h : cache) ~h_off =
+  (* Pin the source page: the frame allocation below may otherwise
+     reclaim it. *)
+  src_page.p_wire_count <- src_page.p_wire_count + 1;
+  let frame =
+    Fun.protect
+      ~finally:(fun () ->
+        src_page.p_wire_count <- src_page.p_wire_count - 1)
+      (fun () ->
+        let frame = Pager.alloc_frame pvm in
+        charge pvm pvm.cost.t_bcopy_page;
+        Hw.Phys_mem.bcopy ~src:src_page.p_frame ~dst:frame;
+        frame)
+  in
+  charge pvm pvm.cost.t_stub_insert;
+  let page =
+    Install.insert_page pvm h ~off:h_off frame ~pulled_prot:Hw.Prot.all
+      ~cow_protected:(is_covered h ~off:h_off)
+  in
+  page.p_dirty <- true;
+  pvm.stats.n_cow_copies <- pvm.stats.n_cow_copies + 1;
+  page
+
+(* Resolve a write violation on a read-protected page of a copy
+   source (§4.2.2): push the original value into the history object if
+   it does not already have its own version, then let the page go
+   writable. *)
+let resolve_source_write pvm (page : page) =
+  (match covered_and_missing pvm page.p_cache ~off:page.p_offset with
+  | Some (h, h_off) -> ignore (store_original pvm ~src_page:page ~h ~h_off)
+  | None -> ());
+  Pmap.cow_release pvm page;
+  page.p_dirty <- true
+
+(* Insert a fresh working cache between [src] and its previous
+   history, preserving the shape invariant (§4.2.3, Figure 3.c/3.d). *)
+let insert_working_cache pvm (src : cache) =
+  let w = Install.new_cache pvm ~anonymous:true ~is_history:true () in
+  (* nobody holds a handle to a working cache: collect it as soon as
+     its last reader detaches *)
+  w.c_zombie <- true;
+  (match src.c_history with
+  | Some old -> Parents.redirect old ~old_parent:src ~new_parent:w
+  | None -> ());
+  Parents.insert w
+    {
+      f_off = 0;
+      f_size = whole_window;
+      f_parent = src;
+      f_parent_off = 0;
+      f_policy = `Copy_on_write;
+    };
+  src.c_history <- Some w;
+  pvm.stats.n_history_created <- pvm.stats.n_history_created + 1;
+  w
+
+(* Read-protect the source's resident pages over the copied range.
+   Pages the source itself inherits from its ancestors are already
+   protected (they were protected when their own cache was copied). *)
+let protect_source_range pvm (src : cache) ~off ~size =
+  List.iter
+    (fun p ->
+      if p.p_offset >= off && p.p_offset < off + size then
+        Pmap.cow_protect pvm p)
+    src.c_pages
+
+(* Record a deferred copy src[src_off, src_off+size) ->
+   dst[dst_off, ...).  The caller (Cache.copy) has already purged the
+   destination range.  Builds or extends the history tree and
+   read-protects the source. *)
+let record_copy pvm ~(src : cache) ~src_off ~(dst : cache) ~dst_off ~size
+    ~policy =
+  charge pvm pvm.cost.t_tree_setup;
+  charge pvm pvm.cost.t_copy_setup;
+  let parent =
+    match src.c_history with
+    | None when src_off = dst_off ->
+      (* Simple case (§4.2.2): the new copy is the history object. *)
+      src.c_history <- Some dst;
+      src
+    | None -> insert_working_cache pvm src
+    | Some h when h == dst ->
+      (* Re-copying onto the same destination; the purge has removed
+         the old fragments, re-link directly. *)
+      src
+    | Some _ -> insert_working_cache pvm src
+  in
+  (* Offsets in a working cache coincide with source offsets. *)
+  let parent_off = if parent == src then src_off else src_off in
+  Parents.insert dst
+    {
+      f_off = dst_off;
+      f_size = size;
+      f_parent = parent;
+      f_parent_off = parent_off;
+      f_policy = policy;
+    };
+  protect_source_range pvm src ~off:src_off ~size
+
+(* Called when [child] stops referencing [parent] (destruction or
+   purge removed the last fragment).  If the child was the parent's
+   history object, the parent no longer needs to save originals: flip
+   the copy-protection flags (lazily; hardware entries are refreshed
+   at the next fault, costing nothing now — see DESIGN.md). *)
+let child_detached (parent : cache) (child : cache) =
+  let still_references =
+    List.exists (fun f -> f.f_parent == parent) child.c_parents
+  in
+  if not still_references then begin
+    match parent.c_history with
+    | Some h when h == child ->
+      parent.c_history <- None;
+      List.iter (fun p -> p.p_cow_protected <- false) parent.c_pages
+    | _ -> ()
+  end
+
+(* [reachable pvm ~from target]: can a value lookup starting at [from]
+   reach [target], through parent fragments or deferred per-page stub
+   sources?  Used by Cache.copy to refuse building a cyclic tree when
+   a cache is copied onto one of its own ancestors (the paper's Unix
+   workloads never do this; we fall back to an eager copy). *)
+let reachable pvm ~(from : cache) (target : cache) =
+  let visited = Hashtbl.create 16 in
+  let rec go (c : cache) =
+    if c == target then true
+    else if Hashtbl.mem visited c.c_id then false
+    else begin
+      Hashtbl.replace visited c.c_id ();
+      let via_frags = List.exists (fun f -> go f.f_parent) c.c_parents in
+      via_frags
+      || Hashtbl.fold
+           (fun (cid, _) entry acc ->
+             acc
+             ||
+             if cid = c.c_id then
+               match entry with
+               | Cow_stub { cs_source = Src_cache (sc, _); cs_alive = true; _ }
+                 -> go sc
+               | Cow_stub { cs_source = Src_page p; cs_alive = true; _ } ->
+                 go p.p_cache
+               | _ -> false
+             else false)
+           pvm.gmap false
+    end
+  in
+  go from
+
+(* --- Introspection ---------------------------------------------- *)
+
+let rec root_of (cache : cache) =
+  match cache.c_parents with
+  | [] -> cache
+  | f :: _ -> root_of f.f_parent
+
+let rec depth_to_root (cache : cache) =
+  match cache.c_parents with
+  | [] -> 0
+  | f :: _ -> 1 + depth_to_root f.f_parent
+
+(* Structural invariant used by the property tests:
+   - fragment lists are well-formed;
+   - if [c_history = Some h] then some fragment of [h] names the cache
+     as parent;
+   - a cache that is not a working history object has at most one
+     child; a working one has at most two (binary tree);
+   - the parent relation is acyclic. *)
+let check_invariant pvm =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  List.iter
+    (fun c ->
+      if c.c_alive then begin
+        if not (Parents.check_invariant c) then
+          err "cache %d: bad fragment list" c.c_id;
+        (match c.c_history with
+        | Some h ->
+          if not (List.exists (fun f -> f.f_parent == c) h.c_parents) then
+            err "cache %d: history %d has no fragment back" c.c_id h.c_id
+        | None -> ());
+        let n_children = List.length c.c_children in
+        let limit = if c.c_is_history then 2 else 1 in
+        if n_children > limit then
+          err "cache %d: %d children (limit %d)" c.c_id n_children limit;
+        (* acyclicity through every fragment (DFS with an on-stack
+           set; the visited set keeps DAGs linear) *)
+        let visited = Hashtbl.create 8 in
+        let rec climb stack node =
+          if List.memq node stack then
+            err "cache %d: cycle through %d" c.c_id node.c_id
+          else if not (Hashtbl.mem visited node.c_id) then begin
+            Hashtbl.replace visited node.c_id ();
+            List.iter (fun f -> climb (node :: stack) f.f_parent) node.c_parents
+          end
+        in
+        climb [] c
+      end)
+    pvm.caches;
+  !errors
+
+(* Pretty-print the history tree containing [cache] (for the Figure 3
+   scenarios).  Pages are shown by page index within the segment, with
+   [*] marking read-protected (grey in the paper's figure) frames. *)
+let pp_tree ppf (cache : cache) =
+  let pvm = cache.c_pvm in
+  let ps = page_size pvm in
+  let label c =
+    Format.asprintf "%s%d%s"
+      (if c.c_is_history then "w" else "cache")
+      c.c_id
+      (match c.c_history with
+      | Some h -> Printf.sprintf " (history -> %d)" h.c_id
+      | None -> "")
+  in
+  let pages c =
+    c.c_pages
+    |> List.sort (fun a b -> compare a.p_offset b.p_offset)
+    |> List.map (fun p ->
+           Printf.sprintf "%d%s" (p.p_offset / ps)
+             (if p.p_cow_protected then "*" else ""))
+    |> String.concat ","
+  in
+  let rec pp_node ppf (indent, c) =
+    Format.fprintf ppf "%s%s  pages:[%s]@," indent (label c) (pages c);
+    List.iter
+      (fun child ->
+        if child.c_alive then pp_node ppf (indent ^ "  ", child))
+      (List.sort (fun a b -> compare a.c_id b.c_id) c.c_children)
+  in
+  Format.fprintf ppf "@[<v>%a@]" pp_node ("", root_of cache)

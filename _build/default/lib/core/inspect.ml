@@ -1,0 +1,99 @@
+open Types
+
+let pp_frag pvm ppf (f : frag) =
+  let ps = page_size pvm in
+  if f.f_size >= History.whole_window then
+    Format.fprintf ppf "*->%d@%d" f.f_parent.c_id (f.f_parent_off / ps)
+  else
+    Format.fprintf ppf "%d+%d->%d@%d" (f.f_off / ps) (f.f_size / ps)
+      f.f_parent.c_id (f.f_parent_off / ps)
+
+let pp_page pvm ppf (p : page) =
+  let ps = page_size pvm in
+  Format.fprintf ppf "p%d[f%d]%s%s" (p.p_offset / ps)
+    p.p_frame.Hw.Phys_mem.index
+    (if p.p_cow_protected then "*" else "")
+    (match List.length p.p_cow_stubs with
+    | 0 -> ""
+    | n -> Printf.sprintf "{%d}" n)
+
+let stub_entries pvm (cache : cache) =
+  Hashtbl.fold
+    (fun (cid, o) entry acc ->
+      if cid = cache.c_id then
+        match entry with
+        | Cow_stub s ->
+          let src =
+            match s.cs_source with
+            | Src_page p ->
+              Printf.sprintf "pg(%d,%d)" p.p_cache.c_id
+                (p.p_offset / page_size pvm)
+            | Src_cache (c, so) ->
+              Printf.sprintf "(%d,%d)" c.c_id (so / page_size pvm)
+          in
+          Printf.sprintf "s%d<-%s" (o / page_size pvm) src :: acc
+        | Sync_stub _ -> Printf.sprintf "sync%d" (o / page_size pvm) :: acc
+        | Resident _ -> acc
+      else acc)
+    cache.c_pvm.gmap []
+
+let pp_cache ppf (cache : cache) =
+  let pvm = cache.c_pvm in
+  let pages =
+    List.sort (fun a b -> compare a.p_offset b.p_offset) cache.c_pages
+  in
+  Format.fprintf ppf "cache %d%s%s hist=%s parents=[%s] pages=[%a]%s%s"
+    cache.c_id
+    (if cache.c_is_history then " (hidden)" else "")
+    (if not cache.c_alive then " (dead)" else "")
+    (match cache.c_history with
+    | Some h -> string_of_int h.c_id
+    | None -> "-")
+    (String.concat ","
+       (List.map (Format.asprintf "%a" (pp_frag pvm)) cache.c_parents))
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       (pp_page pvm))
+    pages
+    (match stub_entries pvm cache with
+    | [] -> ""
+    | stubs -> " stubs=[" ^ String.concat "," stubs ^ "]")
+    (match Hashtbl.length cache.c_backed_offs with
+    | 0 -> ""
+    | n -> Printf.sprintf " swapped=%d" n)
+
+let pp_state ppf (pvm : pvm) =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun c -> Format.fprintf ppf "%a@," pp_cache c)
+    (List.sort (fun a b -> compare a.c_id b.c_id) pvm.caches);
+  Format.fprintf ppf "%a@,%a@]" Hw.Phys_mem.pp_stats pvm.mem pp_stats
+    pvm.stats
+
+let pp_context ppf (ctx : context) =
+  let pvm = ctx.ctx_pvm in
+  let ps = page_size pvm in
+  Format.fprintf ppf "@[<v>context %d:@," ctx.ctx_id;
+  List.iter
+    (fun (r : region) ->
+      let mapped =
+        List.concat
+          (List.init (r.r_size / ps) (fun i ->
+               let vpn = (r.r_addr / ps) + i in
+               match Hw.Mmu.query ctx.ctx_space ~vpn with
+               | Some (frame, prot) ->
+                 [
+                   Printf.sprintf "v%d->f%d(%s)" i frame.Hw.Phys_mem.index
+                     (Hw.Prot.to_string prot);
+                 ]
+               | None -> []))
+      in
+      Format.fprintf ppf "  region @%x +%dK %a cache=%d@%d  [%s]@," r.r_addr
+        (r.r_size / 1024) Hw.Prot.pp r.r_prot r.r_cache.c_id
+        (r.r_offset / ps)
+        (String.concat " " mapped))
+    ctx.ctx_regions;
+  Format.fprintf ppf "@]"
+
+let frames_held (pvm : pvm) =
+  List.fold_left (fun acc c -> acc + List.length c.c_pages) 0 pvm.caches

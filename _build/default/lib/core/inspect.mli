@@ -1,0 +1,22 @@
+(** Introspection: render the PVM's live data structures (the paper's
+    Figure 2) for debugging, teaching and the examples.
+
+    The formats are stable enough to grep in tests but meant for
+    humans: one line per cache with its history pointer, parent
+    fragments, resident pages (with frame numbers, read-protection
+    marks and stub counts), deferred-copy stubs and swap coverage. *)
+
+val pp_cache : Format.formatter -> Types.cache -> unit
+(** One cache descriptor line. *)
+
+val pp_state : Format.formatter -> Types.pvm -> unit
+(** Every cache on the PVM (hidden history nodes included), the frame
+    pool and the counters. *)
+
+val pp_context : Format.formatter -> Types.context -> unit
+(** A context's regions with their cache windows and resident MMU
+    translations. *)
+
+val frames_held : Types.pvm -> int
+(** Frames referenced by page descriptors (must equal the pool's used
+    count; checked by tests). *)

@@ -1,0 +1,127 @@
+(* Page installation / removal primitives.
+
+   Everything that puts a real page descriptor into (or takes it out
+   of) a cache goes through here, so the cache page list, the global
+   map, the frame registry, the reclaim queue and pending
+   per-virtual-page stubs stay consistent. *)
+
+open Types
+
+(* Raw local-cache constructor; the public entry point is
+   [Cache.create], working caches are made by [History]. *)
+let new_cache pvm ?backing ~anonymous ~is_history () =
+  charge pvm pvm.cost.t_cache_create;
+  let cache =
+    {
+      c_id = next_id pvm;
+      c_pvm = pvm;
+      c_backing = backing;
+      c_anonymous = anonymous;
+      c_backed_offs = Hashtbl.create 8;
+      c_pages = [];
+      c_parents = [];
+      c_history = None;
+      c_children = [];
+      c_mappings = [];
+      c_is_history = is_history;
+      c_policy = `Copy_on_write;
+      c_zombie = false;
+      c_alive = true;
+    }
+  in
+  pvm.caches <- cache :: pvm.caches;
+  cache
+
+(* Thread onto [page] any per-virtual-page stubs that were waiting for
+   its (cache, offset) to become resident (their source had been
+   paged out, so they held a (cache, offset) reference). *)
+let rethread_pending_stubs pvm (page : page) =
+  let k = (page.p_cache.c_id, page.p_offset) in
+  match Hashtbl.find_opt pvm.stub_sources k with
+  | None -> ()
+  | Some stubs ->
+    Hashtbl.remove pvm.stub_sources k;
+    let live = List.filter (fun s -> s.cs_alive) stubs in
+    List.iter (fun s -> s.cs_source <- Src_page page) live;
+    page.p_cow_stubs <- live @ page.p_cow_stubs
+
+let add_pending_stub pvm ~src_cache ~src_off stub =
+  let k = (src_cache.c_id, src_off) in
+  let existing =
+    Option.value ~default:[] (Hashtbl.find_opt pvm.stub_sources k)
+  in
+  Hashtbl.replace pvm.stub_sources k (stub :: existing)
+
+(* Create a page descriptor around [frame] and make it the resident
+   entry for (cache, off).  The caller must have made sure no resident
+   page or stub occupies that slot (or pass the sync-stub condition to
+   release waiters). *)
+let insert_page pvm (cache : cache) ~off frame ~pulled_prot ~cow_protected =
+  assert (is_page_aligned pvm off);
+  assert cache.c_alive;
+  let page =
+    {
+      p_cache = cache;
+      p_offset = off;
+      p_frame = frame;
+      p_pulled_prot = pulled_prot;
+      p_cow_protected = cow_protected;
+      p_cow_stubs = [];
+      p_mappings = [];
+      p_dirty = false;
+      p_wire_count = 0;
+      p_alive = true;
+    }
+  in
+  cache.c_pages <- page :: cache.c_pages;
+  Global_map.set pvm cache ~off (Resident page);
+  Pmap.register_page pvm page;
+  pvm.reclaim <- pvm.reclaim @ [ page ];
+  rethread_pending_stubs pvm page;
+  page
+
+(* Detach a page from every structure.  Per-virtual-page stubs still
+   reading through it must have been materialised or retargeted by the
+   caller. *)
+let remove_page pvm (page : page) ~free_frame =
+  assert (page.p_alive);
+  assert (page.p_cow_stubs = []);
+  Pmap.unmap_all pvm page;
+  Pmap.unregister_page pvm page;
+  let cache = page.p_cache in
+  cache.c_pages <- List.filter (fun p -> not (p == page)) cache.c_pages;
+  (match Global_map.peek pvm cache ~off:page.p_offset with
+  | Some (Resident p) when p == page ->
+    Global_map.remove pvm cache ~off:page.p_offset
+  | _ -> ());
+  pvm.reclaim <- List.filter (fun p -> not (p == page)) pvm.reclaim;
+  page.p_alive <- false;
+  if free_frame then begin
+    charge pvm pvm.cost.t_frame_free;
+    Hw.Phys_mem.free pvm.mem page.p_frame
+  end
+
+(* Move a page descriptor to another (cache, offset) without touching
+   the frame: the move-semantics fast path of Table 1 ("changing the
+   real-page-to-cache assignments rather than copying").  With
+   [preserve] the page keeps its copy-protection state and threaded
+   stubs — used when a purged range migrates to a hidden history node
+   rather than transferring data. *)
+let reassign_page pvm ?(preserve = false) (page : page) (dst : cache) ~dst_off
+    =
+  if not preserve then assert (page.p_cow_stubs = []);
+  Pmap.unmap_all pvm page;
+  let src = page.p_cache in
+  src.c_pages <- List.filter (fun p -> not (p == page)) src.c_pages;
+  (match Global_map.peek pvm src ~off:page.p_offset with
+  | Some (Resident p) when p == page ->
+    Global_map.remove pvm src ~off:page.p_offset
+  | _ -> ());
+  page.p_cache <- dst;
+  page.p_offset <- dst_off;
+  if not preserve then page.p_cow_protected <- false;
+  dst.c_pages <- page :: dst.c_pages;
+  Global_map.set pvm dst ~off:dst_off (Resident page);
+  rethread_pending_stubs pvm page;
+  if not preserve then
+    pvm.stats.n_moved_pages <- pvm.stats.n_moved_pages + 1

@@ -1,0 +1,48 @@
+(** Page and cache installation / removal primitives.
+
+    Everything that creates a cache descriptor, or puts a real page
+    descriptor into (or takes it out of) a cache, goes through here,
+    keeping the page list, the global map, the frame registry, the
+    reclaim queue and pending per-virtual-page stubs consistent. *)
+
+val new_cache :
+  Types.pvm ->
+  ?backing:Gmi.backing ->
+  anonymous:bool ->
+  is_history:bool ->
+  unit ->
+  Types.cache
+
+val rethread_pending_stubs : Types.pvm -> Types.page -> unit
+(** Thread onto a freshly resident page the stubs that were waiting
+    for its (cache, offset). *)
+
+val add_pending_stub :
+  Types.pvm -> src_cache:Types.cache -> src_off:int -> Types.cow_stub -> unit
+
+val insert_page :
+  Types.pvm ->
+  Types.cache ->
+  off:int ->
+  Hw.Phys_mem.frame ->
+  pulled_prot:Hw.Prot.t ->
+  cow_protected:bool ->
+  Types.page
+(** Make [frame] the resident entry for (cache, off); the slot must be
+    free or hold the caller's synchronization stub. *)
+
+val remove_page : Types.pvm -> Types.page -> free_frame:bool -> unit
+(** Detach a page from every structure.  Its threaded stubs must have
+    been materialised or retargeted first. *)
+
+val reassign_page :
+  Types.pvm ->
+  ?preserve:bool ->
+  Types.page ->
+  Types.cache ->
+  dst_off:int ->
+  unit
+(** Move a page descriptor to another (cache, offset) without touching
+    the frame — the move-semantics fast path of Table 1.  [preserve]
+    keeps copy-protection state and threaded stubs (zombie-split
+    migration). *)

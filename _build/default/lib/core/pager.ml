@@ -1,0 +1,146 @@
+(* Frame allocation and page-out.
+
+   The data-management policy (page-in / page-out decisions) belongs
+   to the memory manager below the GMI (paper §3.3.3).  We reclaim in
+   FIFO order over the PVM-wide queue; a victim's data is saved with a
+   pushOut upcall to its segment, anonymous caches first being
+   declared to the upper layer through the segmentCreate hook so they
+   can be given a swap segment (paper Table 3, [segmentCreate];
+   §5.1.2: "the segment manager waits for the first pushOut upcall for
+   such a temporary cache to allocate it a swap temporary segment"). *)
+
+open Types
+
+(* Give an anonymous cache a backing via the segmentCreate hook, if
+   the upper layer installed one. *)
+let ensure_backing pvm (cache : cache) =
+  match cache.c_backing with
+  | Some b -> Some b
+  | None -> (
+    match pvm.segment_create_hook with
+    | None -> None
+    | Some hook ->
+      let backing = hook cache in
+      cache.c_backing <- backing;
+      backing)
+
+let can_evict pvm (page : page) =
+  page.p_wire_count = 0
+  && (match Global_map.peek pvm page.p_cache ~off:page.p_offset with
+     | Some (Resident p) -> p == page (* not already in transit *)
+     | _ -> false)
+  && ((not page.p_dirty)
+     || page.p_cache.c_backing <> None
+     || pvm.segment_create_hook <> None)
+
+(* Retarget per-virtual-page stubs still reading through [page] to the
+   (cache, offset) form: the data stays reachable through the segment
+   once the page is gone (paper §4.3). *)
+let retarget_stubs pvm (page : page) =
+  let stubs = List.filter (fun s -> s.cs_alive) page.p_cow_stubs in
+  page.p_cow_stubs <- [];
+  List.iter
+    (fun s ->
+      s.cs_source <- Src_cache (page.p_cache, page.p_offset);
+      Install.add_pending_stub pvm ~src_cache:page.p_cache
+        ~src_off:page.p_offset s)
+    stubs
+
+(* Save a dirty page to its segment, keeping it resident ([sync]
+   semantics).  While the push is in progress the global-map entry is
+   a synchronization stub, so concurrent access to the fragment
+   sleeps. *)
+let push_out pvm (page : page) =
+  match ensure_backing pvm page.p_cache with
+  | None -> invalid_arg "Pager.push_out: cache has no backing"
+  | Some backing ->
+    let cache = page.p_cache and off = page.p_offset in
+    pvm.stats.n_push_outs <- pvm.stats.n_push_outs + 1;
+    let cond = Global_map.insert_sync_stub pvm cache ~off in
+    let copy_back ~offset ~size =
+      assert (offset >= off && offset + size <= off + page_size pvm);
+      Hw.Phys_mem.read page.p_frame ~off:(offset - off) ~len:size
+    in
+    (* whatever the mapper does, the page must come back out of the
+       in-transit state, or waiters sleep forever *)
+    Fun.protect
+      ~finally:(fun () ->
+        Global_map.finish_sync_stub pvm cache ~off cond
+          (Some (Resident page)))
+      (fun () ->
+        backing.b_push_out ~offset:off ~size:(page_size pvm) ~copy_back;
+        if cache.c_anonymous then Hashtbl.replace cache.c_backed_offs off ();
+        page.p_dirty <- false;
+        (* back to read-only mappings so the next store re-dirties *)
+        Pmap.refresh_prot pvm page)
+
+(* Steal [page]'s frame.  A dirty victim is first saved to its
+   segment; the frame is freed before the (possibly slow) pushOut
+   completes, working from a snapshot, so allocation latency does not
+   include segment I/O twice. *)
+let evict pvm (page : page) =
+  assert (can_evict pvm page);
+  pvm.stats.n_evictions <- pvm.stats.n_evictions + 1;
+  retarget_stubs pvm page;
+  let cache = page.p_cache and off = page.p_offset in
+  if page.p_dirty then begin
+    match ensure_backing pvm cache with
+    | None -> invalid_arg "Pager.evict: dirty page with no backing"
+    | Some backing ->
+      pvm.stats.n_push_outs <- pvm.stats.n_push_outs + 1;
+      let cond = Global_map.insert_sync_stub pvm cache ~off in
+      let ps = page_size pvm in
+      let snapshot = Hw.Phys_mem.read page.p_frame ~off:0 ~len:ps in
+      Install.remove_page pvm page ~free_frame:true;
+      let copy_back ~offset ~size =
+        assert (offset >= off && offset + size <= off + ps);
+        Bytes.sub snapshot (offset - off) size
+      in
+      (* a failing swap device loses the page (as on real hardware);
+         the error propagates, but waiters must not hang *)
+      Fun.protect
+        ~finally:(fun () ->
+          Global_map.finish_sync_stub pvm cache ~off cond None)
+        (fun () ->
+          backing.b_push_out ~offset:off ~size:ps ~copy_back;
+          if cache.c_anonymous then Hashtbl.replace cache.c_backed_offs off ())
+  end
+  else Install.remove_page pvm page ~free_frame:true
+
+(* Background page-out: the data-management policy the paper places
+   below the GMI can also run asynchronously.  The daemon keeps free
+   memory between watermarks so allocations rarely pay for eviction
+   (and its pushOut latency) synchronously. *)
+let start_daemon pvm ~low_water ~high_water ~period =
+  if low_water >= high_water then invalid_arg "Pager.start_daemon: watermarks";
+  Hw.Engine.spawn pvm.engine ~name:"pageout-daemon" ~daemon:true (fun () ->
+      let rec loop () =
+        Hw.Engine.sleep period;
+        let rec reclaim () =
+          if Hw.Phys_mem.free_frames pvm.mem < high_water then
+            match List.find_opt (can_evict pvm) pvm.reclaim with
+            | Some victim ->
+              evict pvm victim;
+              reclaim ()
+            | None -> ()
+        in
+        if Hw.Phys_mem.free_frames pvm.mem < low_water then reclaim ();
+        loop ()
+      in
+      loop ())
+
+(* Allocate a frame, reclaiming FIFO victims when physical memory is
+   exhausted. *)
+let alloc_frame pvm =
+  charge pvm pvm.cost.t_frame_alloc;
+  let rec go () =
+    match Hw.Phys_mem.alloc_opt pvm.mem with
+    | Some frame -> frame
+    | None -> (
+      match List.find_opt (can_evict pvm) pvm.reclaim with
+      | Some victim ->
+        evict pvm victim;
+        go ()
+      | None -> raise Gmi.No_memory)
+  in
+  go ()

@@ -1,0 +1,43 @@
+(** Frame allocation and page-out.
+
+    The data-management policy (page-in / page-out decisions) belongs
+    to the memory manager below the GMI (paper §3.3.3).  Reclaim is
+    FIFO; a victim's data is saved with a [pushOut] upcall, anonymous
+    caches first being declared to the upper layer through the
+    [segmentCreate] hook so they can be given swap (§5.1.2). *)
+
+val ensure_backing : Types.pvm -> Types.cache -> Gmi.backing option
+(** The cache's backing, acquiring swap through the segmentCreate hook
+    for anonymous caches if needed. *)
+
+val can_evict : Types.pvm -> Types.page -> bool
+(** Unpinned, not in transit, and either clean or saveable. *)
+
+val retarget_stubs : Types.pvm -> Types.page -> unit
+(** Convert per-page stubs threaded on a disappearing page to the
+    (cache, offset) form (§4.3): the data stays reachable through the
+    segment. *)
+
+val push_out : Types.pvm -> Types.page -> unit
+(** Save a dirty page to its segment, keeping it resident ([sync]
+    semantics).  The page is a synchronization stub while in transit;
+    afterwards its mappings return to read-only so the next store
+    re-dirties (software dirty bits). *)
+
+val evict : Types.pvm -> Types.page -> unit
+(** Steal the page's frame, saving dirty contents first (from a
+    snapshot, so allocation latency does not wait on segment I/O
+    twice). *)
+
+val start_daemon :
+  Types.pvm ->
+  low_water:int ->
+  high_water:int ->
+  period:Hw.Sim_time.span ->
+  unit
+(** The asynchronous page-out daemon: below [low_water] free frames it
+    evicts FIFO victims until [high_water] are free. *)
+
+val alloc_frame : Types.pvm -> Hw.Phys_mem.frame
+(** Allocate a frame, reclaiming synchronously when the pool is empty.
+    @raise Gmi.No_memory when nothing can be evicted. *)

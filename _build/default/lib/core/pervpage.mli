@@ -1,0 +1,61 @@
+(** Per-virtual-page deferred copy (paper §4.3).
+
+    For small copies (typically IPC messages) the PVM does not build a
+    history tree: every destination page gets a copy-on-write page
+    stub in the global map.  A stub points at the source page
+    descriptor while the source is resident — threaded on that page's
+    stub list, so "the source page is accessible, for reads, through
+    any cache to which it was copied" — or at the source
+    (cache, offset) pair when it is not. *)
+
+val with_wired : Types.page -> (unit -> 'a) -> 'a
+(** Run with the page's frame pinned: a frame allocation inside the
+    function cannot steal it. *)
+
+val setup_copy :
+  Types.pvm ->
+  src:Types.cache ->
+  src_off:int ->
+  dst:Types.cache ->
+  dst_off:int ->
+  size:int ->
+  unit
+(** Install the stubs for a copy; resident source pages are
+    read-protected, stub chains from still-deferred sources share the
+    original source.  The caller has purged the destination range. *)
+
+val unthread : Types.pvm -> Types.cow_stub -> unit
+(** Remove a stub from its source's threading (page list or pending
+    index) and mark it dead. *)
+
+val source_cache_of : Types.cow_stub -> Types.cache
+
+val reap_source : Types.pvm -> Types.cache -> unit
+(** Offer a cache to the zombie reaper (no-op unless collectable). *)
+
+val materialize : Types.pvm -> Types.cow_stub -> Types.page
+(** Give the stub's destination its own page holding the deferred
+    value, replacing the stub; reaps hidden caches the stub was the
+    last reader of. *)
+
+val kill : Types.pvm -> Types.cow_stub -> unit
+(** Discard a stub without materialising (its destination range is
+    being overwritten or destroyed). *)
+
+val flush_stubs : Types.pvm -> Types.page -> unit
+(** A write is about to hit a page some stubs still read through: give
+    every such destination its own copy of the original first. *)
+
+val resolve_read :
+  Types.pvm -> Types.cow_stub -> [ `Borrow of Types.page | `Own of Types.page ]
+(** Resolve a read fault on a stub: the source page (pulled in if
+    needed) to map read-only into the faulting context, or a
+    materialised own page when the source is zero. *)
+
+val resolve_write : Types.pvm -> Types.cow_stub -> Types.page
+(** The §4.3 write violation: a new page frame with a copy of the
+    source page replaces the stub. *)
+
+val materialize_pending : Types.pvm -> Types.cache -> off:int -> unit
+(** Materialise every pending stub whose deferred value lives at
+    (cache, off): called before that value is overwritten. *)

@@ -1,0 +1,121 @@
+(* Physical-map bookkeeping: which MMU entries currently point at a
+   page's frame.  Real kernels keep this reverse map (the pmap) so
+   that read-protecting a copied page, stealing a frame, or letting a
+   diverging source page go writable again can reach every context
+   that mapped it.  We record mappings on the page descriptor and keep
+   a frame -> page registry on the PVM. *)
+
+open Types
+
+let register_page pvm (page : page) =
+  pvm.page_of_frame.(page.p_frame.Hw.Phys_mem.index) <- Some page
+
+let unregister_page pvm (page : page) =
+  pvm.page_of_frame.(page.p_frame.Hw.Phys_mem.index) <- None
+
+let page_at_frame pvm (frame : Hw.Phys_mem.frame) =
+  pvm.page_of_frame.(frame.Hw.Phys_mem.index)
+
+let is_borrowed (page : page) (region : region) =
+  not (region.r_cache == page.p_cache)
+
+(* The hardware protection for [page] seen through [region]: the
+   region's protection, capped by the access mode the segment granted
+   at pullIn time, write-stripped while the page is read-protected for
+   a pending deferred copy (history coverage or threaded per-page
+   stubs), and always read-only for borrowed mappings (a child context
+   reading an ancestor's page). *)
+let effective_prot (page : page) (region : region) =
+  let p = Hw.Prot.intersect region.r_prot page.p_pulled_prot in
+  if
+    page.p_cow_protected || page.p_cow_stubs <> []
+    || is_borrowed page region
+    (* software dirty-bit emulation: clean pages are mapped read-only
+       so the first store faults and marks them dirty *)
+    || not page.p_dirty
+  then Hw.Prot.remove_write p
+  else p
+
+let enter pvm (page : page) (region : region) ~vpn =
+  (* Replacing another page's entry: retire its pmap record so a later
+     teardown of that page does not unmap us. *)
+  (match Hw.Mmu.query region.r_context.ctx_space ~vpn with
+  | Some (old_frame, _) when old_frame.Hw.Phys_mem.index <> page.p_frame.Hw.Phys_mem.index -> (
+    match page_at_frame pvm old_frame with
+    | Some old_page ->
+      old_page.p_mappings <-
+        List.filter
+          (fun ((r : region), v) -> not (r == region && v = vpn))
+          old_page.p_mappings
+    | None -> ())
+  | Some _ | None -> ());
+  let prot = effective_prot page region in
+  charge pvm pvm.cost.t_mmu_map;
+  Hw.Mmu.map region.r_context.ctx_space ~vpn page.p_frame prot;
+  if
+    not
+      (List.exists
+         (fun (r, v) -> r == region && v = vpn)
+         page.p_mappings)
+  then page.p_mappings <- (region, vpn) :: page.p_mappings
+
+let drop_mapping (page : page) (region : region) ~vpn =
+  page.p_mappings <-
+    List.filter
+      (fun (r, v) -> not (r == region && v = vpn))
+      page.p_mappings
+
+(* Recompute the hardware protection of every mapping of [page];
+   charges one protection update per refreshed entry. *)
+let refresh_prot pvm (page : page) =
+  List.iter
+    (fun ((region : region), vpn) ->
+      charge pvm pvm.cost.t_mmu_protect;
+      Hw.Mmu.protect region.r_context.ctx_space ~vpn
+        (effective_prot page region))
+    page.p_mappings
+
+(* Read-protect [page] everywhere, marking it copied.  This is the
+   per-page cost of initiating a deferred copy (paper §5.3.2: ~16us
+   per page of the source). *)
+let cow_protect pvm (page : page) =
+  if not page.p_cow_protected then begin
+    page.p_cow_protected <- true;
+    charge pvm pvm.cost.t_mmu_protect;
+    List.iter
+      (fun ((region : region), vpn) ->
+        Hw.Mmu.protect region.r_context.ctx_space ~vpn
+          (effective_prot page region))
+      page.p_mappings
+  end
+
+(* Let a source page go writable again once its original value has
+   been saved in the history object.  Borrowed read mappings in
+   descendant contexts would otherwise observe the new value, so they
+   are invalidated and will re-fault onto the saved copy. *)
+let cow_release pvm (page : page) =
+  page.p_cow_protected <- false;
+  let borrowed, own = List.partition (fun (r, _) -> is_borrowed page r) page.p_mappings in
+  List.iter
+    (fun ((region : region), vpn) ->
+      charge pvm pvm.cost.t_mmu_protect;
+      Hw.Mmu.unmap region.r_context.ctx_space ~vpn)
+    borrowed;
+  page.p_mappings <- own;
+  List.iter
+    (fun ((region : region), vpn) ->
+      charge pvm pvm.cost.t_mmu_protect;
+      Hw.Mmu.protect region.r_context.ctx_space ~vpn
+        (effective_prot page region))
+    own
+
+(* Remove every MMU entry pointing at [page]'s frame (eviction,
+   invalidation, destruction). *)
+let unmap_all pvm (page : page) =
+  List.iter
+    (fun ((region : region), vpn) ->
+      charge pvm pvm.cost.t_mmu_protect;
+      if region.r_alive && region.r_context.ctx_alive then
+        Hw.Mmu.unmap region.r_context.ctx_space ~vpn)
+    page.p_mappings;
+  page.p_mappings <- []

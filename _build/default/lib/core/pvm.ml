@@ -1,0 +1,105 @@
+open Types
+
+type t = Types.pvm
+type context = Types.context
+type region = Types.region
+type cache = Types.cache
+
+let create ?(page_size = 8192) ?(cost = Hw.Cost.chorus_sun360) ~frames ~engine
+    () =
+  let mem = Hw.Phys_mem.create ~page_size ~frames () in
+  {
+    mem;
+    mmu = Hw.Mmu.create ~page_size;
+    cost;
+    engine;
+    gmap = Hashtbl.create 1024;
+    stub_sources = Hashtbl.create 64;
+    page_of_frame = Array.make frames None;
+    contexts = [];
+    caches = [];
+    current = None;
+    next_id = 1;
+    reclaim = [];
+    segment_create_hook = None;
+    zombie_reaper = None;
+    stats = fresh_stats ();
+  }
+  |> Cache.install_reaper
+
+let engine pvm = pvm.engine
+let memory pvm = pvm.mem
+let cost pvm = pvm.cost
+let page_size = Types.page_size
+let stats pvm = pvm.stats
+
+let reset_stats pvm =
+  let s = pvm.stats and z = fresh_stats () in
+  s.n_faults <- z.n_faults;
+  s.n_zero_fills <- z.n_zero_fills;
+  s.n_cow_copies <- z.n_cow_copies;
+  s.n_pull_ins <- z.n_pull_ins;
+  s.n_push_outs <- z.n_push_outs;
+  s.n_evictions <- z.n_evictions;
+  s.n_tree_lookups <- z.n_tree_lookups;
+  s.n_history_created <- z.n_history_created;
+  s.n_stub_resolves <- z.n_stub_resolves;
+  s.n_eager_pages <- z.n_eager_pages;
+  s.n_moved_pages <- z.n_moved_pages
+
+let set_segment_create_hook pvm hook = pvm.segment_create_hook <- Some hook
+
+(* Simulated program access: hardware translation with the fault
+   handler in the loop.  The retry bound turns a resolution bug into a
+   failure rather than a hang. *)
+let access_frame pvm (ctx : context) ~addr ~access =
+  let rec go retries =
+    if retries > 32 then
+      failwith "PVM: page fault resolution did not converge";
+    match Hw.Mmu.translate ctx.ctx_space ~addr ~access with
+    | Ok frame -> frame
+    | Error _ ->
+      Fault.handle pvm ctx ~addr ~access;
+      go (retries + 1)
+  in
+  go 0
+
+let touch pvm ctx ~addr ~access = ignore (access_frame pvm ctx ~addr ~access)
+
+let read pvm ctx ~addr ~len =
+  let ps = Types.page_size pvm in
+  let out = Bytes.create len in
+  let rec go done_ =
+    if done_ < len then begin
+      let a = addr + done_ in
+      let in_page = a mod ps in
+      let chunk = min (len - done_) (ps - in_page) in
+      let frame = access_frame pvm ctx ~addr:a ~access:`Read in
+      Bytes.blit frame.Hw.Phys_mem.bytes in_page out done_ chunk;
+      go (done_ + chunk)
+    end
+  in
+  go 0;
+  out
+
+let write pvm ctx ~addr bytes =
+  let ps = Types.page_size pvm in
+  let len = Bytes.length bytes in
+  let rec go done_ =
+    if done_ < len then begin
+      let a = addr + done_ in
+      let in_page = a mod ps in
+      let chunk = min (len - done_) (ps - in_page) in
+      let frame = access_frame pvm ctx ~addr:a ~access:`Write in
+      Bytes.blit bytes done_ frame.Hw.Phys_mem.bytes in_page chunk;
+      go (done_ + chunk)
+    end
+  in
+  go 0
+
+let check_invariant pvm = History.check_invariant pvm
+let pp_history_tree = History.pp_tree
+
+let start_pageout_daemon ?(period = Hw.Sim_time.ms 20) pvm ~low_water
+    ~high_water =
+  Pager.start_daemon pvm ~low_water ~high_water ~period

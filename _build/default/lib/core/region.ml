@@ -1,0 +1,179 @@
+(* Region operations: the mapped-access half of the GMI (Table 2). *)
+
+open Types
+
+type status = {
+  s_addr : int;
+  s_size : int;
+  s_prot : Hw.Prot.t;
+  s_cache : cache;
+  s_offset : int;
+  s_locked : bool;
+}
+
+let overlaps (ctx : context) ~addr ~size =
+  List.exists
+    (fun r -> addr < r.r_addr + r.r_size && r.r_addr < addr + size)
+    ctx.ctx_regions
+
+(* regionCreate: map a cache window into a context.  Mapping is lazy —
+   the cost is independent of the region size (paper §5.3.2). *)
+let create pvm (ctx : context) ~addr ~size ~prot (cache : cache) ~offset =
+  check_context_alive ctx;
+  check_cache_alive cache;
+  if size <= 0 then invalid_arg "regionCreate: size <= 0";
+  if
+    not
+      (is_page_aligned pvm addr && is_page_aligned pvm size
+     && is_page_aligned pvm offset)
+  then invalid_arg "regionCreate: unaligned address, size or offset";
+  if overlaps ctx ~addr ~size then invalid_arg "regionCreate: regions overlap";
+  charge pvm pvm.cost.t_region_create;
+  let region =
+    {
+      r_id = next_id pvm;
+      r_context = ctx;
+      r_addr = addr;
+      r_size = size;
+      r_prot = prot;
+      r_cache = cache;
+      r_offset = offset;
+      r_locked = false;
+      r_alive = true;
+    }
+  in
+  ctx.ctx_regions <-
+    List.sort (fun a b -> compare a.r_addr b.r_addr) (region :: ctx.ctx_regions);
+  cache.c_mappings <- region :: cache.c_mappings;
+  region
+
+let vpns_of pvm (region : region) =
+  let ps = page_size pvm in
+  List.init (region.r_size / ps) (fun i -> (region.r_addr / ps) + i)
+
+let mapped_page_at pvm (region : region) ~vpn =
+  match Hw.Mmu.query region.r_context.ctx_space ~vpn with
+  | None -> None
+  | Some (frame, _) -> Pmap.page_at_frame pvm frame
+
+(* region.split (Table 2): cut a region in two at [offset] bytes from
+   its start.  Splitting never occurs spontaneously, so upper layers
+   can track regions reliably (§3.3.2). *)
+let split pvm (region : region) ~offset =
+  check_region_alive region;
+  if not (is_page_aligned pvm offset) then invalid_arg "split: unaligned";
+  if offset <= 0 || offset >= region.r_size then
+    invalid_arg "split: offset outside region";
+  charge pvm pvm.cost.t_region_create;
+  let right =
+    {
+      r_id = next_id pvm;
+      r_context = region.r_context;
+      r_addr = region.r_addr + offset;
+      r_size = region.r_size - offset;
+      r_prot = region.r_prot;
+      r_cache = region.r_cache;
+      r_offset = region.r_offset + offset;
+      r_locked = region.r_locked;
+      r_alive = true;
+    }
+  in
+  region.r_size <- offset;
+  let ctx = region.r_context in
+  ctx.ctx_regions <-
+    List.sort (fun a b -> compare a.r_addr b.r_addr) (right :: ctx.ctx_regions);
+  region.r_cache.c_mappings <- right :: region.r_cache.c_mappings;
+  (* Re-label the pmap records of mappings now belonging to the right
+     half. *)
+  List.iter
+    (fun vpn ->
+      match mapped_page_at pvm right ~vpn with
+      | None -> ()
+      | Some page ->
+        Pmap.drop_mapping page region ~vpn;
+        page.p_mappings <- (right, vpn) :: page.p_mappings)
+    (vpns_of pvm right);
+  right
+
+(* region.setProtection (Table 2): change the hardware protection of
+   the whole region. *)
+let set_protection pvm (region : region) prot =
+  check_region_alive region;
+  region.r_prot <- prot;
+  List.iter
+    (fun vpn ->
+      match mapped_page_at pvm region ~vpn with
+      | None -> ()
+      | Some page ->
+        charge pvm pvm.cost.t_mmu_protect;
+        Hw.Mmu.protect region.r_context.ctx_space ~vpn
+          (Pmap.effective_prot page region))
+    (vpns_of pvm region)
+
+(* region.lockInMemory (Table 2): resolve every fault the region could
+   take and pin the pages, guaranteeing access without faults and
+   fixed MMU maps — the property real-time kernels rely on. *)
+let lock_in_memory pvm (region : region) =
+  check_region_alive region;
+  let access = if Hw.Prot.allows region.r_prot `Write then `Write else `Read in
+  let ps = page_size pvm in
+  List.iter
+    (fun vpn ->
+      let addr = vpn * ps in
+      (match Hw.Mmu.translate region.r_context.ctx_space ~addr ~access with
+      | Ok _ -> ()
+      | Error _ -> Fault.handle pvm region.r_context ~addr ~access);
+      match mapped_page_at pvm region ~vpn with
+      | Some page -> page.p_wire_count <- page.p_wire_count + 1
+      | None -> assert false)
+    (vpns_of pvm region);
+  region.r_locked <- true
+
+(* region.unlock (Table 2): faults may occur again. *)
+let unlock pvm (region : region) =
+  check_region_alive region;
+  if region.r_locked then begin
+    List.iter
+      (fun vpn ->
+        match mapped_page_at pvm region ~vpn with
+        | Some page when page.p_wire_count > 0 ->
+          page.p_wire_count <- page.p_wire_count - 1
+        | Some _ | None -> ())
+      (vpns_of pvm region);
+    region.r_locked <- false
+  end
+
+let status (region : region) =
+  check_region_alive region;
+  {
+    s_addr = region.r_addr;
+    s_size = region.r_size;
+    s_prot = region.r_prot;
+    s_cache = region.r_cache;
+    s_offset = region.r_offset;
+    s_locked = region.r_locked;
+  }
+
+(* region.destroy (Table 2): unmap the cache window.  Destruction
+   invalidates the whole virtual range, so unlike creation its cost
+   grows (mildly) with the region size (§5.3.2). *)
+let destroy pvm (region : region) =
+  check_region_alive region;
+  if region.r_locked then unlock pvm region;
+  charge pvm pvm.cost.t_region_destroy;
+  let ps = page_size pvm in
+  charge pvm (pvm.cost.t_invalidate_page * (region.r_size / ps));
+  List.iter
+    (fun vpn ->
+      match mapped_page_at pvm region ~vpn with
+      | Some page -> Pmap.drop_mapping page region ~vpn
+      | None -> ())
+    (vpns_of pvm region);
+  ignore
+    (Hw.Mmu.invalidate_range region.r_context.ctx_space
+       ~vpn:(region.r_addr / ps) ~count:(region.r_size / ps));
+  let ctx = region.r_context in
+  ctx.ctx_regions <- List.filter (fun r -> not (r == region)) ctx.ctx_regions;
+  region.r_cache.c_mappings <-
+    List.filter (fun r -> not (r == region)) region.r_cache.c_mappings;
+  region.r_alive <- false

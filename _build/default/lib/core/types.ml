@@ -1,0 +1,180 @@
+(* Internal descriptor records of the PVM (paper §4.1.1, Figure 2).
+
+   Everything is one recursive bundle because the structures mirror
+   the paper's: contexts point to regions, regions to caches, caches
+   to pages and to their copy-tree relatives, pages back to caches.
+   The operational modules (Global_map, Parents, History, Fault, ...)
+   act on these records; user code only sees the abstract views
+   re-exported by Pvm. *)
+
+type pvm = {
+  mem : Hw.Phys_mem.t;
+  mmu : Hw.Mmu.t;
+  cost : Hw.Cost.profile;
+  engine : Hw.Engine.t;
+  gmap : (gkey, entry) Hashtbl.t;
+      (* the global map: (cache id, page-aligned offset) -> entry *)
+  stub_sources : (gkey, cow_stub list) Hashtbl.t;
+      (* per-virtual-page stubs whose source page is not resident,
+         indexed by source (cache, offset) so that a later pullIn can
+         re-thread them onto the incoming page *)
+  page_of_frame : page option array; (* frame index -> owning page *)
+  mutable contexts : context list;
+  mutable caches : cache list;
+  mutable current : context option;
+  mutable next_id : int;
+  mutable reclaim : page list; (* FIFO reclaim queue, oldest last *)
+  mutable segment_create_hook : (cache -> Gmi.backing option) option;
+  mutable zombie_reaper : (cache -> unit) option;
+      (* installed by the Cache module: collects a hidden history
+         cache once its last reader — fragment child or per-page stub
+         — is gone.  A hook because stub death (Pervpage) sits below
+         cache teardown in the module graph. *)
+  stats : stats;
+}
+
+and gkey = int * int (* cache id, byte offset of page start *)
+
+and entry =
+  | Resident of page
+  | Sync_stub of Hw.Engine.Cond.t
+      (* page in transit (pullIn/pushOut in progress); accesses wait *)
+  | Cow_stub of cow_stub (* per-virtual-page deferred copy (§4.3) *)
+
+and cache = {
+  c_id : int;
+  c_pvm : pvm;
+  mutable c_backing : Gmi.backing option;
+  c_anonymous : bool;
+      (* created without a segment: misses are zero-filled; a backing
+         acquired later (swap) only covers offsets in c_backed_offs *)
+  c_backed_offs : (int, unit) Hashtbl.t;
+      (* offsets an anonymous cache has pushed to its swap backing *)
+  mutable c_pages : page list; (* pages currently cached, unordered *)
+  mutable c_parents : frag list; (* sorted, non-overlapping (§4.2.4) *)
+  mutable c_history : cache option; (* our single immediate descendant *)
+  mutable c_children : cache list; (* caches whose c_parents reference us *)
+  mutable c_mappings : region list; (* regions mapping this cache *)
+  mutable c_is_history : bool; (* created unilaterally by the MM *)
+  mutable c_policy : Gmi.copy_policy; (* policy of copies we source *)
+  mutable c_zombie : bool;
+      (* destroyed by its user while descendants still read through
+         it; kept alive as a hidden history node and collected once
+         the last child detaches *)
+  mutable c_alive : bool;
+}
+
+and frag = {
+  f_off : int; (* start offset within the owning (child) cache *)
+  f_size : int;
+  f_parent : cache;
+  f_parent_off : int; (* corresponding offset within the parent *)
+  f_policy : Gmi.copy_policy;
+}
+
+and page = {
+  mutable p_cache : cache;
+  mutable p_offset : int; (* byte offset of the page in its segment *)
+  p_frame : Hw.Phys_mem.frame;
+  mutable p_pulled_prot : Hw.Prot.t; (* access mode granted by pullIn *)
+  mutable p_cow_protected : bool; (* read-only because it was copied *)
+  mutable p_cow_stubs : cow_stub list; (* stubs reading through us *)
+  mutable p_mappings : (region * int) list; (* MMU mappings: region, vpn *)
+  mutable p_dirty : bool;
+  mutable p_wire_count : int; (* > 0: pinned by lockInMemory *)
+  mutable p_alive : bool;
+}
+
+and cow_stub = {
+  mutable cs_cache : cache; (* destination cache *)
+  mutable cs_offset : int; (* page offset in the destination *)
+  mutable cs_source : cow_source;
+  mutable cs_alive : bool;
+}
+
+and cow_source =
+  | Src_page of page (* source page resident in real memory *)
+  | Src_cache of cache * int (* source cache + offset, page not resident *)
+
+and region = {
+  r_id : int;
+  r_context : context;
+  mutable r_addr : int;
+  mutable r_size : int;
+  mutable r_prot : Hw.Prot.t;
+  r_cache : cache;
+  mutable r_offset : int; (* start offset of the window in the cache *)
+  mutable r_locked : bool;
+  mutable r_alive : bool;
+}
+
+and context = {
+  ctx_id : int;
+  ctx_pvm : pvm;
+  ctx_space : Hw.Mmu.space;
+  mutable ctx_regions : region list; (* sorted by start address *)
+  mutable ctx_alive : bool;
+}
+
+and stats = {
+  mutable n_faults : int;
+  mutable n_zero_fills : int;
+  mutable n_cow_copies : int; (* pages really copied on a write fault *)
+  mutable n_pull_ins : int;
+  mutable n_push_outs : int;
+  mutable n_evictions : int;
+  mutable n_tree_lookups : int; (* copy-tree levels traversed *)
+  mutable n_history_created : int; (* working caches inserted *)
+  mutable n_stub_resolves : int; (* per-virtual-page stubs resolved *)
+  mutable n_eager_pages : int; (* pages copied eagerly *)
+  mutable n_moved_pages : int; (* pages moved by frame reassignment *)
+}
+
+let fresh_stats () =
+  {
+    n_faults = 0;
+    n_zero_fills = 0;
+    n_cow_copies = 0;
+    n_pull_ins = 0;
+    n_push_outs = 0;
+    n_evictions = 0;
+    n_tree_lookups = 0;
+    n_history_created = 0;
+    n_stub_resolves = 0;
+    n_eager_pages = 0;
+    n_moved_pages = 0;
+  }
+
+let next_id pvm =
+  let id = pvm.next_id in
+  pvm.next_id <- id + 1;
+  id
+
+let page_size pvm = Hw.Phys_mem.page_size pvm.mem
+let charge (_pvm : pvm) span = if span > 0 then Hw.Cost.charge span
+
+let page_align_down pvm off = off - (off mod page_size pvm)
+
+let page_align_up pvm off =
+  let ps = page_size pvm in
+  (off + ps - 1) / ps * ps
+
+let is_page_aligned pvm off = off mod page_size pvm = 0
+
+let check_cache_alive c =
+  if not c.c_alive then invalid_arg "GMI: cache destroyed"
+
+let check_region_alive r =
+  if not r.r_alive then invalid_arg "GMI: region destroyed"
+
+let check_context_alive ctx =
+  if not ctx.ctx_alive then invalid_arg "GMI: context destroyed"
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>faults: %d@ zero-fills: %d@ cow-copies: %d@ pull-ins: %d@ \
+     push-outs: %d@ evictions: %d@ tree-lookups: %d@ history-created: %d@ \
+     stub-resolves: %d@ eager-pages: %d@ moved-pages: %d@]"
+    s.n_faults s.n_zero_fills s.n_cow_copies s.n_pull_ins s.n_push_outs
+    s.n_evictions s.n_tree_lookups s.n_history_created s.n_stub_resolves
+    s.n_eager_pages s.n_moved_pages

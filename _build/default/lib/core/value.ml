@@ -1,0 +1,141 @@
+(* Locating the logical value of a (cache, offset) pair.
+
+   A cache miss is resolved by looking upwards in the copy tree
+   (paper §4.2.1); if the walk ends at a cache bound to a segment the
+   data is pulled in (§4.1.2), otherwise the value is zero (anonymous
+   memory).  An anonymous cache that has pushed pages to a swap
+   backing recovers them here as well. *)
+
+open Types
+
+type located =
+  [ `Page of page  (* resident page holding the value *)
+  | `Pull of cache * int  (* must be pulled into this cache *)
+  | `Zero  (* anonymous, never written: zero-filled *) ]
+
+let has_swapped (cache : cache) ~off =
+  cache.c_anonymous && Hashtbl.mem cache.c_backed_offs off
+
+let rec locate pvm (cache : cache) ~off : located =
+  match Global_map.wait_not_in_transit pvm cache ~off with
+  | Some (Resident p) -> `Page p
+  | Some (Cow_stub s) -> (
+    match s.cs_source with
+    | Src_page p -> `Page p
+    | Src_cache (c, o) ->
+      charge pvm pvm.cost.t_tree_lookup;
+      locate pvm c ~off:o)
+  | Some (Sync_stub _) -> assert false (* wait_not_in_transit excludes it *)
+  | None ->
+    if has_swapped cache ~off then `Pull (cache, off)
+    else (
+      match Parents.find_covering cache ~off with
+      | Some f ->
+        charge pvm pvm.cost.t_tree_lookup;
+        pvm.stats.n_tree_lookups <- pvm.stats.n_tree_lookups + 1;
+        locate pvm f.f_parent ~off:(off - f.f_off + f.f_parent_off)
+      | None ->
+        if cache.c_backing <> None && not cache.c_anonymous then
+          `Pull (cache, off)
+        else `Zero)
+
+(* Install the data a segment provides (the [fillUp] downcall of
+   Table 4).  [offset] must be page-aligned and the data length a
+   multiple of the page size; a segment may deliver more than was
+   asked (read-ahead).  Chunks colliding with pages already resident
+   refresh their contents; chunks resolving a synchronization stub
+   wake the sleepers. *)
+let deliver pvm (cache : cache) ~offset (bytes : Bytes.t) ~prot ~dirty =
+  let ps = page_size pvm in
+  if not (is_page_aligned pvm offset) then
+    invalid_arg "fillUp: offset not page-aligned";
+  if Bytes.length bytes mod ps <> 0 then
+    invalid_arg "fillUp: data not a whole number of pages";
+  let n = Bytes.length bytes / ps in
+  for i = 0 to n - 1 do
+    let off = offset + (i * ps) in
+    let chunk () = Bytes.sub bytes (i * ps) ps in
+    match Global_map.peek pvm cache ~off with
+    | Some (Sync_stub cond) ->
+      let frame = Pager.alloc_frame pvm in
+      Hw.Phys_mem.write frame ~off:0 (chunk ());
+      let page =
+        Install.insert_page pvm cache ~off frame ~pulled_prot:prot
+          ~cow_protected:(History.is_covered cache ~off)
+      in
+      page.p_dirty <- dirty;
+      Hw.Engine.Cond.broadcast cond
+    | None ->
+      let frame = Pager.alloc_frame pvm in
+      Hw.Phys_mem.write frame ~off:0 (chunk ());
+      let page =
+        Install.insert_page pvm cache ~off frame ~pulled_prot:prot
+          ~cow_protected:(History.is_covered cache ~off)
+      in
+      page.p_dirty <- dirty
+    | Some (Resident p) ->
+      charge pvm pvm.cost.t_bcopy_page;
+      Hw.Phys_mem.write p.p_frame ~off:0 (chunk ());
+      p.p_dirty <- dirty;
+      Pmap.refresh_prot pvm p
+    | Some (Cow_stub _) ->
+      (* The destination of a pending per-virtual-page copy is being
+         overwritten by its segment manager; the deferred value is
+         superseded.  Rare; handled by the higher-level purge before
+         copies, so refuse here rather than guess. *)
+      invalid_arg "fillUp: offset holds a deferred-copy stub"
+  done
+
+(* Pull one page in from the cache's segment (paper §4.1.2): place a
+   synchronization stub, upcall pullIn, and expect the segment to have
+   filled the page up before returning. *)
+let pull_in_page pvm (cache : cache) ~off ~prot =
+  match cache.c_backing with
+  | None -> invalid_arg "pullIn: cache has no backing"
+  | Some b ->
+    pvm.stats.n_pull_ins <- pvm.stats.n_pull_ins + 1;
+    let cond = Global_map.insert_sync_stub pvm cache ~off in
+    let fill_up ~offset bytes =
+      deliver pvm cache ~offset bytes ~prot ~dirty:false
+    in
+    (* A failing mapper must not leave the synchronization stub
+       behind: waiters would sleep forever.  Remove it and wake them
+       so they retry (and fail in turn if the segment stays broken). *)
+    (try b.b_pull_in ~offset:off ~size:(page_size pvm) ~prot ~fill_up
+     with e ->
+       (match Global_map.peek pvm cache ~off with
+       | Some (Sync_stub c) when c == cond ->
+         Global_map.finish_sync_stub pvm cache ~off cond None
+       | _ -> ());
+       raise e);
+    (match Global_map.peek pvm cache ~off with
+    | Some (Resident p) -> p
+    | Some (Sync_stub c) when c == cond ->
+      Global_map.finish_sync_stub pvm cache ~off cond None;
+      failwith
+        (Printf.sprintf "GMI: segment '%s' pullIn did not provide offset %d"
+           b.b_name off)
+    | _ ->
+      failwith
+        (Printf.sprintf "GMI: segment '%s' pullIn did not provide offset %d"
+           b.b_name off))
+
+(* Allocate a zero-filled page owned by [cache]. *)
+let zero_fill_page pvm (cache : cache) ~off =
+  let frame = Pager.alloc_frame pvm in
+  charge pvm pvm.cost.t_bzero_page;
+  Hw.Phys_mem.bzero frame;
+  pvm.stats.n_zero_fills <- pvm.stats.n_zero_fills + 1;
+  Install.insert_page pvm cache ~off frame ~pulled_prot:Hw.Prot.all
+    ~cow_protected:(History.is_covered cache ~off)
+
+(* The resident page holding the logical value of (cache, off),
+   pulling from a segment if necessary; [`Zero] when the value is
+   untouched anonymous memory. *)
+let source_value pvm (cache : cache) ~off : [ `Page of page | `Zero ] =
+  match locate pvm cache ~off with
+  | `Page p -> `Page p
+  | `Zero -> `Zero
+  | `Pull (c, o) ->
+    let prot = if c.c_anonymous then Hw.Prot.all else Hw.Prot.read_only in
+    `Page (pull_in_page pvm c ~off:o ~prot)

@@ -1,0 +1,44 @@
+(** Locating the logical value of a (cache, offset) pair.
+
+    A cache miss is resolved by looking upwards in the copy tree
+    (paper §4.2.1); if the walk ends at a cache bound to a segment,
+    the data is pulled in with the §4.1.2 protocol (synchronization
+    page stub, [pullIn] upcall, [fillUp] delivery); otherwise the
+    value is zero (anonymous memory).  Anonymous caches recover pages
+    they pushed to a swap backing here as well. *)
+
+type located =
+  [ `Page of Types.page  (** resident page holding the value *)
+  | `Pull of Types.cache * int  (** must be pulled into this cache *)
+  | `Zero  (** anonymous, never written: zero-filled *) ]
+
+val has_swapped : Types.cache -> off:int -> bool
+(** Does an anonymous cache hold this offset in its swap backing? *)
+
+val locate : Types.pvm -> Types.cache -> off:int -> located
+(** Walk the copy tree (through resident pages, deferred-copy stubs
+    and parent fragments) without side effects beyond waiting out
+    in-transit pages. *)
+
+val deliver :
+  Types.pvm -> Types.cache -> offset:int -> Bytes.t -> prot:Hw.Prot.t ->
+  dirty:bool -> unit
+(** Install segment-provided data (the [fillUp] downcall, Table 4):
+    page-aligned, whole pages; resolves synchronization stubs and
+    wakes their sleepers; refreshes already-resident pages.  [dirty]
+    distinguishes authoritative segment data (clean) from data that
+    exists nowhere else. *)
+
+val pull_in_page : Types.pvm -> Types.cache -> off:int -> prot:Hw.Prot.t -> Types.page
+(** The §4.1.2 pull: place a synchronization stub so concurrent access
+    sleeps, upcall the segment's [pullIn] with the requested access
+    mode, and expect the page to have been filled up on return.  A
+    failing or lying segment never leaves the stub behind.
+    @raise Failure if the segment violates the fillUp contract. *)
+
+val zero_fill_page : Types.pvm -> Types.cache -> off:int -> Types.page
+(** Allocate a zero-filled page owned by the cache. *)
+
+val source_value : Types.pvm -> Types.cache -> off:int -> [ `Page of Types.page | `Zero ]
+(** {!locate}, with any needed pull performed: the resident page
+    holding the value, or [`Zero]. *)

@@ -1,0 +1,1 @@
+lib/dsm/coherent.ml: Bytes Core Hashtbl Hw List Option Printf

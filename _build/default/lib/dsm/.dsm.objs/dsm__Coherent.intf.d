@@ -1,0 +1,1 @@
+lib/dsm/coherent.mli: Bytes Core Hw

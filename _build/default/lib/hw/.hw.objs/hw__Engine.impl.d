@@ -1,0 +1,1 @@
+lib/hw/engine.ml: Effect List Pqueue Sim_time

@@ -1,0 +1,1 @@
+lib/hw/prot.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/hw/sim_time.ml: Format

@@ -1,0 +1,128 @@
+type task = {
+  time : Sim_time.t;
+  seq : int;
+  daemon : bool;
+  run : unit -> unit;
+}
+
+type t = {
+  mutable now : Sim_time.t;
+  mutable seq : int;
+  queue : task Pqueue.t;
+  mutable live : int; (* non-daemon fibres spawned and not yet finished *)
+  mutable live_tasks : int; (* non-daemon tasks waiting in the queue *)
+}
+
+exception Deadlock of int
+
+type _ Effect.t +=
+  | Sleep : Sim_time.span -> unit Effect.t
+  | Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+
+let cmp_task a b =
+  let c = compare a.time b.time in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create () =
+  {
+    now = Sim_time.zero;
+    seq = 0;
+    queue = Pqueue.create ~cmp:cmp_task;
+    live = 0;
+    live_tasks = 0;
+  }
+
+let now eng = eng.now
+
+let schedule eng ~daemon time run =
+  let seq = eng.seq in
+  eng.seq <- seq + 1;
+  if not daemon then eng.live_tasks <- eng.live_tasks + 1;
+  Pqueue.push eng.queue { time; seq; daemon; run }
+
+let sleep span =
+  if span < 0 then invalid_arg "Engine.sleep: negative span";
+  Effect.perform (Sleep span)
+
+let suspend register = Effect.perform (Suspend register)
+
+(* Runs a fibre body under the effect handler.  Deep handlers stay
+   installed for the whole fibre, so a continuation resumed later from
+   the event queue still sees Sleep/Suspend.  Continuations of a
+   daemon fibre schedule daemon tasks: the simulation ends when only
+   daemon work remains. *)
+let exec eng ~daemon f =
+  let finished () = if not daemon then eng.live <- eng.live - 1 in
+  Effect.Deep.match_with f ()
+    {
+      retc = (fun () -> finished ());
+      exnc = (fun ex -> finished (); raise ex);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Sleep span ->
+            Some
+              (fun (k : (a, _) Effect.Deep.continuation) ->
+                schedule eng ~daemon (eng.now + span) (fun () ->
+                    Effect.Deep.continue k ()))
+          | Suspend register ->
+            Some
+              (fun (k : (a, _) Effect.Deep.continuation) ->
+                let resumed = ref false in
+                register (fun () ->
+                    if !resumed then invalid_arg "Engine: resume called twice";
+                    resumed := true;
+                    schedule eng ~daemon eng.now (fun () ->
+                        Effect.Deep.continue k ())))
+          | _ -> None);
+    }
+
+let spawn eng ?name:_ ?(daemon = false) f =
+  if not daemon then eng.live <- eng.live + 1;
+  schedule eng ~daemon eng.now (fun () -> exec eng ~daemon f)
+
+let run eng main =
+  spawn eng main;
+  (* Run while non-daemon work remains — either queued tasks, or
+     suspended user fibres that a daemon (server loop, page-out
+     daemon) may still wake.  Once every user fibre has finished,
+     pending daemon wakeups are discarded: a periodic daemon would
+     otherwise keep the simulation alive forever. *)
+  let rec loop () =
+    if
+      eng.live_tasks > 0
+      || (eng.live > 0 && not (Pqueue.is_empty eng.queue))
+    then begin
+      let task = Pqueue.pop eng.queue in
+      assert (task.time >= eng.now);
+      eng.now <- task.time;
+      if not task.daemon then eng.live_tasks <- eng.live_tasks - 1;
+      task.run ();
+      loop ()
+    end
+  in
+  loop ();
+  if eng.live > 0 then raise (Deadlock eng.live)
+
+let run_fn eng f =
+  let result = ref None in
+  run eng (fun () -> result := Some (f ()));
+  match !result with
+  | Some v -> v
+  | None -> assert false
+
+module Cond = struct
+  type t = { mutable parked : (unit -> unit) list }
+
+  let create () = { parked = [] }
+
+  let wait c =
+    suspend (fun resume -> c.parked <- resume :: c.parked)
+
+  let broadcast c =
+    let resumes = List.rev c.parked in
+    c.parked <- [];
+    List.iter (fun resume -> resume ()) resumes
+
+  let waiters c = List.length c.parked
+end

@@ -1,0 +1,61 @@
+(** Discrete-event simulation engine with cooperative fibres.
+
+    The Chorus memory manager requires blocking semantics ("while a
+    pullIn or pushOut operation is in progress, any concurrent access
+    to the fragment is suspended", paper §3.3.3).  We provide them
+    deterministically: fibres are one-shot delimited continuations
+    (OCaml 5 effects) scheduled by simulated time; ties are broken by
+    spawn/wake order, so every run is reproducible.
+
+    Fibre-facing operations ({!sleep}, {!suspend}, {!Cond.wait}) may
+    only be called from code running inside {!run}. *)
+
+type t
+
+exception Deadlock of int
+(** Raised by {!run} when the event queue drains while fibres are
+    still suspended; carries the number of stuck fibres. *)
+
+val create : unit -> t
+
+val now : t -> Sim_time.t
+(** Current simulated time. *)
+
+val spawn : t -> ?name:string -> ?daemon:bool -> (unit -> unit) -> unit
+(** [spawn eng f] schedules fibre [f] to start at the current
+    simulated time.  Usable both from inside and outside fibres.
+    A [daemon] fibre (server loop) is allowed to remain suspended when
+    the simulation drains and does not count towards {!Deadlock}. *)
+
+val sleep : Sim_time.span -> unit
+(** Advance this fibre's position in simulated time; other runnable
+    fibres execute in between.  [sleep 0] is a yield. *)
+
+val suspend : ((unit -> unit) -> unit) -> unit
+(** [suspend register] parks the current fibre. [register resume] is
+    called immediately with a one-shot [resume] closure; invoking
+    [resume] (from any fibre, or between events) schedules the parked
+    fibre at the then-current simulated time. *)
+
+val run : t -> (unit -> unit) -> unit
+(** [run eng main] spawns [main] and processes events until the queue
+    is empty.  Exceptions raised by fibres propagate out of [run].
+    @raise Deadlock if fibres remain suspended at drain time. *)
+
+val run_fn : t -> (unit -> 'a) -> 'a
+(** Like {!run} but returns the value produced by the main fibre. *)
+
+(** Condition variables for fibres. *)
+module Cond : sig
+  type t
+
+  val create : unit -> t
+
+  val wait : t -> unit
+  (** Parks the current fibre until the next {!broadcast}. *)
+
+  val broadcast : t -> unit
+  (** Wakes every fibre currently parked in {!wait}. *)
+
+  val waiters : t -> int
+end

@@ -1,0 +1,79 @@
+type t = { page_size : int }
+
+type entry = { mutable frame : Phys_mem.frame; mutable prot : Prot.t }
+
+type space = {
+  mmu : t;
+  table : (int, entry) Hashtbl.t;
+  mutable alive : bool;
+}
+
+type fault = Unmapped | Protection
+type access = [ `Read | `Write | `Execute ]
+
+let create ~page_size =
+  if page_size <= 0 then invalid_arg "Mmu.create: page_size <= 0";
+  { page_size }
+
+let page_size t = t.page_size
+let create_space mmu = { mmu; table = Hashtbl.create 64; alive = true }
+
+let destroy_space space =
+  space.alive <- false;
+  Hashtbl.reset space.table
+
+let check_alive space =
+  if not space.alive then invalid_arg "Mmu: space destroyed"
+
+let vpn_of_addr t addr = addr / t.page_size
+let page_base t ~vpn = vpn * t.page_size
+
+let map space ~vpn frame prot =
+  check_alive space;
+  match Hashtbl.find_opt space.table vpn with
+  | Some e ->
+    e.frame <- frame;
+    e.prot <- prot
+  | None -> Hashtbl.replace space.table vpn { frame; prot }
+
+let unmap space ~vpn =
+  check_alive space;
+  Hashtbl.remove space.table vpn
+
+let protect space ~vpn prot =
+  check_alive space;
+  match Hashtbl.find_opt space.table vpn with
+  | Some e -> e.prot <- prot
+  | None -> invalid_arg "Mmu.protect: page not mapped"
+
+let query space ~vpn =
+  match Hashtbl.find_opt space.table vpn with
+  | Some e -> Some (e.frame, e.prot)
+  | None -> None
+
+let translate space ~addr ~access =
+  check_alive space;
+  let vpn = vpn_of_addr space.mmu addr in
+  match Hashtbl.find_opt space.table vpn with
+  | None -> Error Unmapped
+  | Some e -> if Prot.allows e.prot access then Ok e.frame else Error Protection
+
+let invalidate_range space ~vpn ~count =
+  check_alive space;
+  let removed = ref 0 in
+  for p = vpn to vpn + count - 1 do
+    if Hashtbl.mem space.table p then begin
+      Hashtbl.remove space.table p;
+      incr removed
+    end
+  done;
+  !removed
+
+let mapped_pages space = Hashtbl.length space.table
+
+let iter space f =
+  Hashtbl.iter (fun vpn e -> f ~vpn e.frame e.prot) space.table
+
+let pp_fault ppf = function
+  | Unmapped -> Format.pp_print_string ppf "unmapped"
+  | Protection -> Format.pp_print_string ppf "protection"

@@ -1,0 +1,60 @@
+(** Simulated memory-management unit.
+
+    One {!space} per protected address space (paper "context").  The
+    page table is sparse (a hash of virtual page number to entry), so
+    the structure size depends on mapped pages only — matching the
+    paper's requirement that management structures not scale with the
+    size of the address space (§4.1).
+
+    [translate] is the hardware walk: it either yields the frame or
+    reports the fault a real MMU would raise; the memory manager above
+    is responsible for resolving faults and retrying, exactly like a
+    trap handler. *)
+
+type t
+(** The MMU: a factory for address spaces sharing one page size. *)
+
+type space
+
+type fault =
+  | Unmapped  (** no PTE for the virtual page *)
+  | Protection  (** PTE present but access not allowed *)
+
+type access = [ `Read | `Write | `Execute ]
+
+val create : page_size:int -> t
+val page_size : t -> int
+
+val create_space : t -> space
+val destroy_space : space -> unit
+
+val vpn_of_addr : t -> int -> int
+(** Virtual page number containing a virtual address. *)
+
+val page_base : t -> vpn:int -> int
+
+val map : space -> vpn:int -> Phys_mem.frame -> Prot.t -> unit
+(** Installs (or replaces) the PTE for [vpn]. *)
+
+val unmap : space -> vpn:int -> unit
+(** Removes the PTE for [vpn]; no-op if not mapped. *)
+
+val protect : space -> vpn:int -> Prot.t -> unit
+(** Changes the protection of an existing PTE.
+    @raise Invalid_argument if [vpn] is not mapped. *)
+
+val query : space -> vpn:int -> (Phys_mem.frame * Prot.t) option
+
+val translate :
+  space -> addr:int -> access:access -> (Phys_mem.frame, fault) result
+
+val invalidate_range : space -> vpn:int -> count:int -> int
+(** Removes all PTEs in [vpn, vpn+count); returns how many entries
+    were actually removed.  Used at region destruction. *)
+
+val mapped_pages : space -> int
+(** Number of PTEs currently installed. *)
+
+val iter : space -> (vpn:int -> Phys_mem.frame -> Prot.t -> unit) -> unit
+
+val pp_fault : Format.formatter -> fault -> unit

@@ -1,0 +1,63 @@
+type frame = { index : int; bytes : Bytes.t }
+
+type t = {
+  page_size : int;
+  frames : frame array;
+  allocated : bool array;
+  mutable free_list : int list;
+  mutable used : int;
+}
+
+exception Out_of_memory
+
+let create ?(page_size = 8192) ~frames () =
+  if frames <= 0 then invalid_arg "Phys_mem.create: frames <= 0";
+  if page_size <= 0 then invalid_arg "Phys_mem.create: page_size <= 0";
+  let make_frame index = { index; bytes = Bytes.create page_size } in
+  {
+    page_size;
+    frames = Array.init frames make_frame;
+    allocated = Array.make frames false;
+    free_list = List.init frames (fun i -> i);
+    used = 0;
+  }
+
+let page_size t = t.page_size
+let total_frames t = Array.length t.frames
+let used_frames t = t.used
+let free_frames t = total_frames t - t.used
+
+let alloc_opt t =
+  match t.free_list with
+  | [] -> None
+  | i :: rest ->
+    t.free_list <- rest;
+    t.allocated.(i) <- true;
+    t.used <- t.used + 1;
+    Some t.frames.(i)
+
+let alloc t =
+  match alloc_opt t with Some f -> f | None -> raise Out_of_memory
+
+let free t frame =
+  if not t.allocated.(frame.index) then
+    invalid_arg "Phys_mem.free: frame already free";
+  t.allocated.(frame.index) <- false;
+  t.free_list <- frame.index :: t.free_list;
+  t.used <- t.used - 1
+
+let is_allocated t frame = t.allocated.(frame.index)
+let bzero frame = Bytes.fill frame.bytes 0 (Bytes.length frame.bytes) '\000'
+
+let bcopy ~src ~dst =
+  if Bytes.length src.bytes <> Bytes.length dst.bytes then
+    invalid_arg "Phys_mem.bcopy: page size mismatch";
+  Bytes.blit src.bytes 0 dst.bytes 0 (Bytes.length src.bytes)
+
+let read frame ~off ~len = Bytes.sub frame.bytes off len
+let write frame ~off data = Bytes.blit data 0 frame.bytes off (Bytes.length data)
+let fill frame c = Bytes.fill frame.bytes 0 (Bytes.length frame.bytes) c
+
+let pp_stats ppf t =
+  Format.fprintf ppf "frames: %d total, %d used, %d free (%d B pages)"
+    (total_frames t) (used_frames t) (free_frames t) t.page_size

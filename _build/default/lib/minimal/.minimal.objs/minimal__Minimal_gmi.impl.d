@@ -1,0 +1,1 @@
+lib/minimal/minimal_gmi.ml: Bytes Core Hashtbl Hw List

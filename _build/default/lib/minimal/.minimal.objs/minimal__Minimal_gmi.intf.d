@@ -1,0 +1,1 @@
+lib/minimal/minimal_gmi.mli: Core

@@ -1,0 +1,20 @@
+(** The minimal GMI implementation (paper §5.2).
+
+    "A minimal implementation, suited for embedded real-time systems
+    and small hardware configurations."  Everything is eager: region
+    creation allocates and maps every frame up front (loading from the
+    segment if the cache is backed), copies always move data, there is
+    no demand paging, no deferred copy and no page-out — so after
+    [region_create] returns, no access within the region can fault and
+    MMU maps never change behind the application's back, the property
+    real-time kernels need everywhere (the PVM only offers it through
+    [lockInMemory]).
+
+    Implements {!Core.Gmi.S}; the conformance suite in [test/gmi] runs
+    the same semantic tests over this and the PVM, demonstrating the
+    interface's genericity ("the MM implementation is the only
+    difference between these Nucleus versions"). *)
+
+include Core.Gmi.S
+
+val frames_in_use : t -> int

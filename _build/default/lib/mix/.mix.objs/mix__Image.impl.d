@@ -1,0 +1,1 @@
+lib/mix/image.ml: Bytes Hashtbl Nucleus Seg

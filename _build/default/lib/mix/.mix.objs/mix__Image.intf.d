@@ -1,0 +1,1 @@
+lib/mix/image.mli: Bytes Nucleus Seg

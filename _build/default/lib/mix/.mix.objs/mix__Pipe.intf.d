@@ -1,0 +1,1 @@
+lib/mix/pipe.mli: Process

@@ -1,0 +1,1 @@
+lib/mix/process.ml: Core Hw Image List Nucleus

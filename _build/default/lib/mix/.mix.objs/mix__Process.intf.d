@@ -1,0 +1,1 @@
+lib/mix/process.mli: Bytes Image Nucleus

@@ -1,0 +1,1 @@
+lib/mix/vfs.ml: Bytes Core Hashtbl Nucleus Process Seg

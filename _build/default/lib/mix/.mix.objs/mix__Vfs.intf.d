@@ -1,0 +1,1 @@
+lib/mix/vfs.mli: Bytes Hw Nucleus Process

@@ -1,0 +1,36 @@
+(** Program images: the "filesystem" the process manager loads from.
+
+    An image is a pair of segments held by a file mapper — a text
+    segment (shared, read-execute) and an initialised-data segment
+    (copied on exec) — plus the sizes the process manager needs to lay
+    out an address space.  Real binaries are obviously out of scope;
+    image contents are synthetic patterns the tests check for. *)
+
+type store
+(** A library of images behind one file mapper. *)
+
+type t = {
+  name : string;
+  text_cap : Seg.Capability.t;
+  data_cap : Seg.Capability.t;
+  text_size : int;
+  data_size : int;
+  bss_size : int;
+}
+
+val create_store : Nucleus.Site.t -> store
+
+val add_image :
+  store ->
+  name:string ->
+  text:Bytes.t ->
+  data:Bytes.t ->
+  ?bss_size:int ->
+  unit ->
+  t
+
+val find : store -> string -> t
+(** @raise Not_found for an unknown image name. *)
+
+val mapper_reads : store -> int
+(** File-mapper read count (drives the segment-caching ablation). *)

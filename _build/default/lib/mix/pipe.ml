@@ -1,0 +1,20 @@
+type t = Nucleus.Ipc.endpoint
+
+let create _m : t = Nucleus.Ipc.make_endpoint ~name:"pipe" ()
+
+let write m proc pipe ~addr ~len =
+  let transit = Process.transit m in
+  let rec go sent =
+    if sent < len then begin
+      let chunk = min (len - sent) Nucleus.Transit.slot_size in
+      Nucleus.Ipc.send (Process.actor proc) transit ~dst:pipe
+        ~addr:(addr + sent) ~len:chunk;
+      go (sent + chunk)
+    end
+  in
+  go 0
+
+let read m proc pipe ~addr =
+  Nucleus.Ipc.receive (Process.actor proc) (Process.transit m) pipe ~addr
+
+let pending (pipe : t) = Nucleus.Port.pending pipe

@@ -1,0 +1,19 @@
+(** Unix pipes on Chorus IPC (paper §5.1.6 workload).
+
+    A pipe is a port; each write is one IPC message through the
+    kernel's transit segment, so page-aligned pipe traffic moves by
+    frame reassignment rather than copying.  Writes beyond the 64 KB
+    message limit are split. *)
+
+type t
+
+val create : Process.manager -> t
+
+val write : Process.manager -> Process.t -> t -> addr:int -> len:int -> unit
+(** Send [len] bytes from the process's address space down the pipe. *)
+
+val read : Process.manager -> Process.t -> t -> addr:int -> int
+(** Receive one message into the process's address space; blocks on an
+    empty pipe; returns its length. *)
+
+val pending : t -> int

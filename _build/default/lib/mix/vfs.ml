@@ -1,0 +1,79 @@
+exception No_such_file of string
+
+type file = {
+  f_path : string;
+  f_cap : Seg.Capability.t;
+  mutable f_size : int;
+}
+
+type fd = { fd_file : file; fd_cache : Core.Pvm.cache; mutable fd_pos : int }
+
+type t = {
+  site : Nucleus.Site.t;
+  files_store : Seg.Mem_mapper.t;
+  port : int;
+  files : (string, file) Hashtbl.t;
+}
+
+let create (m : Process.manager) =
+  let site = Process.site m in
+  let files_store = Seg.Mem_mapper.create ~name:"vfs" () in
+  let port =
+    Nucleus.Site.register_mapper site (Seg.Mem_mapper.mapper files_store)
+  in
+  { site; files_store; port; files = Hashtbl.create 32 }
+
+let create_file t ~path ?initial () =
+  let key = Seg.Mem_mapper.create_segment t.files_store ?initial () in
+  let size = match initial with Some b -> Bytes.length b | None -> 0 in
+  Hashtbl.replace t.files path
+    { f_path = path; f_cap = Seg.Capability.make ~port:t.port ~key; f_size = size }
+
+let exists t ~path = Hashtbl.mem t.files path
+
+let find t path =
+  match Hashtbl.find_opt t.files path with
+  | Some f -> f
+  | None -> raise (No_such_file path)
+
+let openf t ~path =
+  let file = find t path in
+  let cache = Seg.Segment_manager.bind t.site.Nucleus.Site.segd file.f_cap in
+  { fd_file = file; fd_cache = cache; fd_pos = 0 }
+
+let close t fd = Seg.Segment_manager.unbind t.site.Nucleus.Site.segd fd.fd_file.f_cap
+
+let read t fd ~len =
+  let pvm = t.site.Nucleus.Site.pvm in
+  let available = max 0 (fd.fd_file.f_size - fd.fd_pos) in
+  let len = min len available in
+  if len = 0 then Bytes.create 0
+  else begin
+    let data = Core.Cache.copy_back pvm fd.fd_cache ~offset:fd.fd_pos ~size:len in
+    fd.fd_pos <- fd.fd_pos + len;
+    data
+  end
+
+let write t fd bytes =
+  let pvm = t.site.Nucleus.Site.pvm in
+  Core.Cache.write_through pvm fd.fd_cache ~offset:fd.fd_pos bytes;
+  fd.fd_pos <- fd.fd_pos + Bytes.length bytes;
+  if fd.fd_pos > fd.fd_file.f_size then fd.fd_file.f_size <- fd.fd_pos
+
+let lseek _t fd ~pos =
+  if pos < 0 then invalid_arg "lseek: negative position";
+  fd.fd_pos <- pos
+
+let tell _t fd = fd.fd_pos
+let size _t fd = fd.fd_file.f_size
+
+let fsync t fd =
+  Core.Cache.sync_all t.site.Nucleus.Site.pvm fd.fd_cache
+
+let mmap _t fd (proc : Process.t) ~addr ~size ~prot =
+  ignore fd.fd_cache;
+  Nucleus.Actor.rgn_map (Process.actor proc) ~addr ~size ~prot
+    fd.fd_file.f_cap ~offset:0
+
+let mapper_reads t = Seg.Mem_mapper.reads t.files_store
+let mapper_writes t = Seg.Mem_mapper.writes t.files_store

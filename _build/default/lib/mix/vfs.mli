@@ -1,0 +1,57 @@
+(** A small Unix-like file layer over segments — the unified-cache
+    demonstration (paper §3.2).
+
+    "In a Unix-like system with demand-paging, there are two potential
+    conflicts between read/write and mapped access ... the two caches
+    can become inconsistent; this is known as the dual caching
+    problem.  The GMI solves these problems by offering a unified
+    interface to segments: in addition to the mapped-memory access,
+    the same cache can be accessed by explicit data transfer through
+    copy operations."
+
+    [read]/[write] here are explicit transfers through the file's
+    local cache; [mmap] maps the {e same} cache into the process.
+    Coherence between the two access paths is by construction — there
+    is exactly one cache. *)
+
+type t
+type fd
+
+val create : Process.manager -> t
+(** A filesystem served by its own file mapper on the manager's
+    site. *)
+
+val create_file : t -> path:string -> ?initial:Bytes.t -> unit -> unit
+val exists : t -> path:string -> bool
+
+exception No_such_file of string
+
+val openf : t -> path:string -> fd
+(** Open a file, binding (or reusing) its local cache.
+    @raise No_such_file for an unknown path. *)
+
+val close : t -> fd -> unit
+
+val read : t -> fd -> len:int -> Bytes.t
+(** Read at the descriptor's position, advancing it.  Short reads at
+    end of file; empty at or beyond it. *)
+
+val write : t -> fd -> Bytes.t -> unit
+(** Write at the descriptor's position, advancing it and growing the
+    file if needed. *)
+
+val lseek : t -> fd -> pos:int -> unit
+val tell : t -> fd -> int
+val size : t -> fd -> int
+
+val fsync : t -> fd -> unit
+(** Push modified cached data to the file mapper. *)
+
+val mmap :
+  t -> fd -> Process.t -> addr:int -> size:int -> prot:Hw.Prot.t ->
+  Nucleus.Actor.mapping
+(** Map the file's pages (from its offset 0) into the process at
+    [addr]: the same local cache the explicit operations use. *)
+
+val mapper_reads : t -> int
+val mapper_writes : t -> int

@@ -1,0 +1,1 @@
+lib/net/network.ml: Array Bytes Hashtbl Hw Nucleus Option Seg

@@ -1,0 +1,136 @@
+type t = {
+  engine : Hw.Engine.t;
+  latency : Hw.Sim_time.span;
+  per_page : Hw.Sim_time.span;
+  mutable sites : Nucleus.Site.t array;
+  transits : (int, Nucleus.Transit.t) Hashtbl.t; (* site id -> transit *)
+  mutable messages_sent : int;
+  mutable bytes_sent : int;
+}
+
+let create ?(latency = Hw.Sim_time.ms 1) ?(per_page = Hw.Sim_time.us 500)
+    ~engine () =
+  {
+    engine;
+    latency;
+    per_page;
+    sites = [||];
+    transits = Hashtbl.create 8;
+    messages_sent = 0;
+    bytes_sent = 0;
+  }
+
+let add_site t site =
+  t.sites <- Array.append t.sites [| site |];
+  Array.length t.sites - 1
+
+let site t id = t.sites.(id)
+let messages_sent t = t.messages_sent
+let bytes_sent t = t.bytes_sent
+
+(* Charge the calling fibre for putting [bytes] on the wire. *)
+let wire_delay t ~bytes =
+  let pages = (bytes + 8191) / 8192 in
+  t.messages_sent <- t.messages_sent + 1;
+  t.bytes_sent <- t.bytes_sent + bytes;
+  Hw.Engine.sleep (t.latency + (pages * t.per_page))
+
+let transit_of t site_id =
+  match Hashtbl.find_opt t.transits site_id with
+  | Some tr -> tr
+  | None ->
+    let tr = Nucleus.Transit.create t.sites.(site_id) () in
+    Hashtbl.replace t.transits site_id tr;
+    tr
+
+module Endpoint = struct
+  type net = t
+
+  type arrival = Local | Wire of Bytes.t
+
+  type t = {
+    home : int;
+    local : Nucleus.Ipc.endpoint; (* same-site fast path *)
+    arrivals : arrival Nucleus.Port.t; (* merged notification queue *)
+  }
+
+  let create (_net : net) ~home ?name () =
+    { home; local = Nucleus.Ipc.make_endpoint ?name ();
+      arrivals = Nucleus.Port.create ?name () }
+
+  let pending ep = Nucleus.Port.pending ep.arrivals
+
+  let site_of_actor (net : net) (actor : Nucleus.Actor.t) =
+    let rec find i =
+      if i >= Array.length net.sites then
+        invalid_arg "Network: actor's site not attached"
+      else if net.sites.(i) == actor.Nucleus.Actor.a_site then i
+      else find (i + 1)
+    in
+    find 0
+
+  let send net ~from_site (actor : Nucleus.Actor.t) ep ~addr ~len =
+    if len > Nucleus.Transit.slot_size then
+      raise (Nucleus.Ipc.Message_too_big len);
+    if from_site = ep.home then begin
+      (* local: the §5.1.6 zero-copy path through the transit segment *)
+      Nucleus.Ipc.send actor (transit_of net from_site) ~dst:ep.local ~addr
+        ~len;
+      Nucleus.Port.send ep.arrivals Local
+    end
+    else begin
+      (* remote: the payload leaves the sender's address space and
+         crosses the wire *)
+      let payload = Nucleus.Actor.read actor ~addr ~len in
+      wire_delay net ~bytes:len;
+      Nucleus.Port.send ep.arrivals (Wire payload)
+    end
+
+  let receive net (actor : Nucleus.Actor.t) ep ~addr =
+    let my_site = site_of_actor net actor in
+    if my_site <> ep.home then
+      invalid_arg "Network: receive must run on the endpoint's home site";
+    match Nucleus.Port.receive ep.arrivals with
+    | Local -> Nucleus.Ipc.receive actor (transit_of net my_site) ep.local ~addr
+    | Wire payload ->
+      Nucleus.Actor.write actor ~addr payload;
+      Bytes.length payload
+end
+
+(* A mapper on another site: every request is a remote procedure call
+   over the wire, with the data paying per-page time.  This is the
+   paper's §5.1.2 picture — pullIn becomes an IPC read request to the
+   mapper's port — stretched across the network. *)
+let remote_mapper t ~home (mapper : Seg.Mapper.t) ~name =
+  let server = Nucleus.Remote_mapper.serve t.sites.(home) mapper in
+  let rpc_wrap ~bytes f =
+    wire_delay t ~bytes:64 (* request *);
+    let result = f () in
+    wire_delay t ~bytes (* reply *);
+    result
+  in
+  let inner = Nucleus.Remote_mapper.client ~name server in
+  {
+    Seg.Mapper.name;
+    read =
+      (fun ~key ~offset ~size ->
+        rpc_wrap ~bytes:size (fun () ->
+            inner.Seg.Mapper.read ~key ~offset ~size));
+    write =
+      (fun ~key ~offset data ->
+        rpc_wrap ~bytes:(Bytes.length data) (fun () ->
+            inner.Seg.Mapper.write ~key ~offset data));
+    truncate =
+      (fun ~key ~size ->
+        rpc_wrap ~bytes:0 (fun () -> inner.Seg.Mapper.truncate ~key ~size));
+    segment_size =
+      (fun ~key ->
+        rpc_wrap ~bytes:0 (fun () -> inner.Seg.Mapper.segment_size ~key));
+    create_temporary =
+      Option.map
+        (fun alloc () -> rpc_wrap ~bytes:0 alloc)
+        inner.Seg.Mapper.create_temporary;
+    destroy_segment =
+      (fun ~key ->
+        rpc_wrap ~bytes:0 (fun () -> inner.Seg.Mapper.destroy_segment ~key));
+  }

@@ -1,0 +1,64 @@
+(** A network of Chorus sites (paper §5.1.1).
+
+    "The physical support for a Chorus system is composed of a set of
+    sites, interconnected by a communications network.  There is one
+    Nucleus per site."  All sites share one discrete-event engine; the
+    network charges a per-message latency plus per-page wire time and
+    delivers asynchronously, so cross-site interactions interleave
+    like real traffic.
+
+    Two services are built on the wire:
+    - {!Endpoint}: location-transparent IPC.  Sending to an endpoint
+      uses the zero-copy transit-segment path when the receiver is on
+      the sender's site, and a wire transfer otherwise — the sender
+      cannot tell which.
+    - {!remote_mapper}: make a mapper served on one site usable from
+      another; a segment mapped on site B whose pager lives on site A
+      pulls its pages across the network, which is how Chorus runs
+      distributed file systems. *)
+
+type t
+
+val create :
+  ?latency:Hw.Sim_time.span ->
+  ?per_page:Hw.Sim_time.span ->
+  engine:Hw.Engine.t ->
+  unit ->
+  t
+(** [latency] is charged per message (default 1 ms), [per_page] per
+    8 KB of payload (default 0.5 ms). *)
+
+val add_site : t -> Nucleus.Site.t -> int
+(** Attach a site; returns its station id. *)
+
+val site : t -> int -> Nucleus.Site.t
+
+val messages_sent : t -> int
+val bytes_sent : t -> int
+
+(** Location-transparent message endpoints. *)
+module Endpoint : sig
+  type net := t
+  type t
+
+  val create : net -> home:int -> ?name:string -> unit -> t
+  (** An endpoint whose receive queue lives on site [home]. *)
+
+  val send :
+    net -> from_site:int -> Nucleus.Actor.t -> t -> addr:int -> len:int -> unit
+  (** Send [len] bytes from the actor's address space.  Local
+      destination: the transit-segment fast path.  Remote: the payload
+      crosses the wire. *)
+
+  val receive : net -> Nucleus.Actor.t -> t -> addr:int -> int
+  (** Receive into the actor's space (the actor must live on the
+      endpoint's home site); blocks while empty; returns the length. *)
+
+  val pending : t -> int
+end
+
+val remote_mapper :
+  t -> home:int -> Seg.Mapper.t -> name:string -> Seg.Mapper.t
+(** Wrap a mapper served on site [home] for use from any other site:
+    every request crosses the wire twice (request + reply) and pays
+    per-page time for the data moved. *)

@@ -1,0 +1,1 @@
+lib/nucleus/actor.ml: Core Hw List Seg Site

@@ -1,0 +1,1 @@
+lib/nucleus/actor.mli: Bytes Core Hw Seg Site

@@ -1,0 +1,1 @@
+lib/nucleus/ipc.ml: Actor Bytes Core Hw Port Site Transit

@@ -1,0 +1,1 @@
+lib/nucleus/ipc.mli: Actor Bytes Port Site Transit

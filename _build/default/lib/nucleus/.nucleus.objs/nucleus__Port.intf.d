@@ -1,0 +1,1 @@
+lib/nucleus/port.mli:

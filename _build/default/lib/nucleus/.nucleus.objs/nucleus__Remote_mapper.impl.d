@@ -1,0 +1,1 @@
+lib/nucleus/remote_mapper.ml: Bytes Hw Port Seg Site

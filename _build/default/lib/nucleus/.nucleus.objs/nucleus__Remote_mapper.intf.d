@@ -1,0 +1,1 @@
+lib/nucleus/remote_mapper.mli: Hw Seg Site

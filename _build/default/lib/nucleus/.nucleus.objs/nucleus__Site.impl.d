@@ -1,0 +1,1 @@
+lib/nucleus/site.ml: Core Hw Seg

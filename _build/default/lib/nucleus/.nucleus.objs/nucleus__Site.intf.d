@@ -1,0 +1,1 @@
+lib/nucleus/site.mli: Core Hw Seg

@@ -1,0 +1,1 @@
+lib/nucleus/transit.ml: Core Hw List Seg Site

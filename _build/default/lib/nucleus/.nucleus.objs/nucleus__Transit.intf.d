@@ -1,0 +1,1 @@
+lib/nucleus/transit.mli: Core Site

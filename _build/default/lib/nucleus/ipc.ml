@@ -1,0 +1,65 @@
+type message = { msg_slot : int; msg_len : int }
+type endpoint = message Port.t
+
+exception Message_too_big of int
+
+let make_endpoint ?name () = Port.create ?name ()
+let message_len m = m.msg_len
+
+let window (a : Actor.t) ~addr ~len =
+  match Core.Context.find_region a.Actor.a_ctx ~addr with
+  | None -> raise (Core.Gmi.Segmentation_fault addr)
+  | Some region ->
+    let st = Core.Region.status region in
+    if addr + len > st.Core.Region.s_addr + st.s_size then
+      raise (Core.Gmi.Segmentation_fault (addr + len));
+    (st.s_cache, st.s_offset + (addr - st.s_addr))
+
+let check_len len =
+  if len > Transit.slot_size then raise (Message_too_big len);
+  if len < 0 then invalid_arg "Ipc: negative length"
+
+let send (a : Actor.t) transit ~dst ~addr ~len =
+  check_len len;
+  let site = a.Actor.a_site in
+  Hw.Cost.charge (Core.Pvm.cost site.pvm).Hw.Cost.t_ipc_fixed;
+  let slot = Transit.alloc transit in
+  let src, src_off = window a ~addr ~len in
+  Core.Cache.copy site.pvm ~src ~src_off ~dst:(Transit.cache transit)
+    ~dst_off:(Transit.slot_offset transit slot)
+    ~size:len ();
+  Port.send dst { msg_slot = slot; msg_len = len }
+
+let send_bytes (site : Site.t) transit ~dst payload =
+  let len = Bytes.length payload in
+  check_len len;
+  let slot = Transit.alloc transit in
+  let ps = Core.Pvm.page_size site.pvm in
+  let padded = (len + ps - 1) / ps * ps in
+  let buf = Bytes.make padded '\000' in
+  Bytes.blit payload 0 buf 0 len;
+  Core.Cache.fill_up site.pvm (Transit.cache transit)
+    ~offset:(Transit.slot_offset transit slot)
+    buf;
+  Port.send dst { msg_slot = slot; msg_len = len }
+
+let receive (a : Actor.t) transit endpoint ~addr =
+  let site = a.Actor.a_site in
+  let msg = Port.receive endpoint in
+  let dst, dst_off = window a ~addr ~len:msg.msg_len in
+  Core.Cache.move site.pvm
+    ~src:(Transit.cache transit)
+    ~src_off:(Transit.slot_offset transit msg.msg_slot)
+    ~dst ~dst_off ~size:msg.msg_len ();
+  Transit.release transit msg.msg_slot;
+  msg.msg_len
+
+let receive_bytes (site : Site.t) transit endpoint =
+  let msg = Port.receive endpoint in
+  let data =
+    Core.Cache.copy_back site.pvm (Transit.cache transit)
+      ~offset:(Transit.slot_offset transit msg.msg_slot)
+      ~size:msg.msg_len
+  in
+  Transit.release transit msg.msg_slot;
+  data

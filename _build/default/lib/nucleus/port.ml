@@ -1,0 +1,30 @@
+type 'a t = {
+  name : string;
+  queue : 'a Queue.t;
+  arrival : Hw.Engine.Cond.t;
+}
+
+let counter = ref 0
+
+let create ?name () =
+  incr counter;
+  let name =
+    match name with Some n -> n | None -> Printf.sprintf "port-%d" !counter
+  in
+  { name; queue = Queue.create (); arrival = Hw.Engine.Cond.create () }
+
+let name t = t.name
+
+let send t msg =
+  Queue.push msg t.queue;
+  Hw.Engine.Cond.broadcast t.arrival
+
+let rec receive t =
+  match Queue.take_opt t.queue with
+  | Some msg -> msg
+  | None ->
+    Hw.Engine.Cond.wait t.arrival;
+    receive t
+
+let poll t = Queue.take_opt t.queue
+let pending t = Queue.length t.queue

@@ -1,0 +1,88 @@
+type request =
+  | Read of { key : int64; offset : int; size : int }
+  | Write of { key : int64; offset : int; data : Bytes.t }
+  | Truncate of { key : int64; size : int }
+  | Size of { key : int64 }
+  | Create_temporary
+  | Destroy of { key : int64 }
+
+type response =
+  | Data of Bytes.t
+  | Done
+  | Sized of int
+  | Key of int64
+  | Failed of exn
+
+type rpc = { req : request; reply : response Port.t }
+type server = { port : rpc Port.t; mutable served : int }
+
+let requests_served server = server.served
+
+let serve (site : Site.t) ?(latency = 0) (mapper : Seg.Mapper.t) =
+  let port : rpc Port.t = Port.create ~name:("mapper:" ^ mapper.name) () in
+  let server = { port; served = 0 } in
+  Hw.Engine.spawn site.engine ~name:("mapper-server:" ^ mapper.name)
+    ~daemon:true (fun () ->
+      let rec loop () =
+        let { req; reply } = Port.receive port in
+        server.served <- server.served + 1;
+        if latency > 0 then Hw.Engine.sleep latency;
+        let answer =
+          try
+            match req with
+            | Read { key; offset; size } ->
+              Data (mapper.read ~key ~offset ~size)
+            | Write { key; offset; data } ->
+              mapper.write ~key ~offset data;
+              Done
+            | Truncate { key; size } ->
+              mapper.truncate ~key ~size;
+              Done
+            | Size { key } -> Sized (mapper.segment_size ~key)
+            | Create_temporary -> (
+              match mapper.create_temporary with
+              | Some alloc -> Key (alloc ())
+              | None -> Failed (Invalid_argument "not a default mapper"))
+            | Destroy { key } ->
+              mapper.destroy_segment ~key;
+              Done
+          with e -> Failed e
+        in
+        Port.send reply answer;
+        loop ()
+      in
+      loop ());
+  server
+
+let call server req =
+  let reply = Port.create () in
+  Port.send server.port { req; reply };
+  match Port.receive reply with
+  | Failed e -> raise e
+  | other -> other
+
+let client ~name server =
+  let data = function Data d -> d | _ -> failwith "mapper rpc: bad reply" in
+  let done_ = function Done -> () | _ -> failwith "mapper rpc: bad reply" in
+  {
+    Seg.Mapper.name;
+    read =
+      (fun ~key ~offset ~size ->
+        data (call server (Read { key; offset; size })));
+    write =
+      (fun ~key ~offset d ->
+        done_ (call server (Write { key; offset; data = d })));
+    truncate = (fun ~key ~size -> done_ (call server (Truncate { key; size })));
+    segment_size =
+      (fun ~key ->
+        match call server (Size { key }) with
+        | Sized n -> n
+        | _ -> failwith "mapper rpc: bad reply");
+    create_temporary =
+      Some
+        (fun () ->
+          match call server Create_temporary with
+          | Key k -> k
+          | _ -> failwith "mapper rpc: bad reply");
+    destroy_segment = (fun ~key -> done_ (call server (Destroy { key })));
+  }

@@ -1,0 +1,26 @@
+(** Mapper access over IPC (paper §5.1.2).
+
+    In Chorus a mapper is an independent actor: the segment manager
+    transforms GMI upcalls into IPC requests on the mapper's port
+    ("when the memory manager calls pullIn, the segment manager sends
+    an IPC read request to the appropriate segment mapper port"), and
+    the mapper replies with the data.
+
+    [serve] spawns a server fibre draining a request port on behalf of
+    a local mapper implementation; [client] wraps the server back into
+    a {!Seg.Mapper.t}, so a segment manager can use a mapper that
+    lives "elsewhere" (another fibre, simulating another actor or a
+    remote site) completely transparently — pullIn then really blocks
+    the faulting thread until the mapper's reply arrives. *)
+
+type server
+
+val serve :
+  Site.t -> ?latency:Hw.Sim_time.span -> Seg.Mapper.t -> server
+(** Expose [mapper] behind a port; each request costs [latency]
+    (simulated network round trip, default 0) plus the mapper's own
+    device time. *)
+
+val client : name:string -> server -> Seg.Mapper.t
+
+val requests_served : server -> int

@@ -1,0 +1,31 @@
+type t = {
+  engine : Hw.Engine.t;
+  pvm : Core.Pvm.t;
+  segd : Seg.Segment_manager.t;
+  default_store : Seg.Mem_mapper.t;
+  default_port : int;
+  mutable next_actor_id : int;
+}
+
+let create ?(page_size = 8192) ?(cost = Hw.Cost.chorus_sun360)
+    ?(retention_capacity = 64) ?(swap_seek_time = 0)
+    ?(swap_transfer_time_per_page = 0) ~frames ~engine () =
+  let pvm = Core.Pvm.create ~page_size ~cost ~frames ~engine () in
+  let segd =
+    Seg.Segment_manager.create ~retention_capacity ~pvm ~default_mapper_port:0
+      ()
+  in
+  let default_store =
+    Seg.Mem_mapper.create ~seek_time:swap_seek_time
+      ~transfer_time_per_page:swap_transfer_time_per_page ~page_size
+      ~name:"default-mapper" ()
+  in
+  let default_port =
+    Seg.Segment_manager.register_mapper segd
+      (Seg.Mem_mapper.mapper default_store)
+  in
+  assert (default_port = 0);
+  { engine; pvm; segd; default_store; default_port; next_actor_id = 1 }
+
+let register_mapper t mapper = Seg.Segment_manager.register_mapper t.segd mapper
+let page_size t = Core.Pvm.page_size t.pvm

@@ -1,0 +1,31 @@
+(** A Chorus site: one Nucleus instance (paper §5.1.1).
+
+    Bundles the discrete-event engine, the PVM, the segment manager
+    with its default mapper, and the IPC transit segment.  Actors,
+    ports and the rgn* operations all hang off a site. *)
+
+type t = {
+  engine : Hw.Engine.t;
+  pvm : Core.Pvm.t;
+  segd : Seg.Segment_manager.t;
+  default_store : Seg.Mem_mapper.t;
+      (** backing store of the default mapper (swap, temporaries) *)
+  default_port : int;
+  mutable next_actor_id : int;
+}
+
+val create :
+  ?page_size:int ->
+  ?cost:Hw.Cost.profile ->
+  ?retention_capacity:int ->
+  ?swap_seek_time:Hw.Sim_time.span ->
+  ?swap_transfer_time_per_page:Hw.Sim_time.span ->
+  frames:int ->
+  engine:Hw.Engine.t ->
+  unit ->
+  t
+
+val register_mapper : t -> Seg.Mapper.t -> int
+(** Expose an additional mapper on this site; returns its port name. *)
+
+val page_size : t -> int

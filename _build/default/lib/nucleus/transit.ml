@@ -1,0 +1,40 @@
+let slot_size = 64 * 1024
+
+type t = {
+  site : Site.t;
+  t_cache : Core.Pvm.cache;
+  slots : int;
+  mutable free : int list;
+  freed : Hw.Engine.Cond.t;
+}
+
+let create (site : Site.t) ?(slots = 8) () =
+  {
+    site;
+    t_cache = Seg.Segment_manager.create_temporary site.segd;
+    slots;
+    free = List.init slots (fun i -> i);
+    freed = Hw.Engine.Cond.create ();
+  }
+
+let rec alloc t =
+  match t.free with
+  | slot :: rest ->
+    t.free <- rest;
+    slot
+  | [] ->
+    Hw.Engine.Cond.wait t.freed;
+    alloc t
+
+let slot_offset _t slot = slot * slot_size
+
+let release t slot =
+  if List.mem slot t.free then invalid_arg "Transit.release: slot is free";
+  (* Drop leftover pages so a parked slot holds no real memory. *)
+  Core.Cache.invalidate t.site.pvm t.t_cache ~offset:(slot * slot_size)
+    ~size:slot_size;
+  t.free <- slot :: t.free;
+  Hw.Engine.Cond.broadcast t.freed
+
+let cache t = t.t_cache
+let free_slots t = List.length t.free

@@ -1,0 +1,22 @@
+(** The kernel transit segment (paper §5.1.6): a single fixed-size
+    anonymous segment made of 64 KB slots, through which IPC message
+    bodies travel.  Senders copy into a slot; receivers move the data
+    out, which usually reassigns the page frames instead of copying. *)
+
+type t
+
+val slot_size : int
+(** 64 KB, the IPC message size limit. *)
+
+val create : Site.t -> ?slots:int -> unit -> t
+
+val alloc : t -> int
+(** Grab a free slot (blocks the fibre while all slots are busy);
+    returns the slot index. *)
+
+val release : t -> int -> unit
+(** Return a slot; its leftover pages are discarded. *)
+
+val cache : t -> Core.Pvm.cache
+val slot_offset : t -> int -> int
+val free_slots : t -> int

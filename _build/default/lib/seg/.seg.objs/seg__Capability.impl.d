@@ -1,0 +1,1 @@
+lib/seg/capability.ml: Format Hashtbl Int64

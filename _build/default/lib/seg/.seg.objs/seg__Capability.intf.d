@@ -1,0 +1,1 @@
+lib/seg/capability.mli: Format Hashtbl

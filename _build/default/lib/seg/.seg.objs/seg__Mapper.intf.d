@@ -1,0 +1,1 @@
+lib/seg/mapper.mli: Bytes

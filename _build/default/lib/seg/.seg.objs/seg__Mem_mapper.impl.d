@@ -1,0 +1,1 @@
+lib/seg/mem_mapper.ml: Bytes Capability Hashtbl Hw Mapper

@@ -1,0 +1,1 @@
+lib/seg/mem_mapper.mli: Bytes Hw Mapper

@@ -1,0 +1,1 @@
+lib/seg/segment_manager.ml: Capability Core Hashtbl List Mapper Printf

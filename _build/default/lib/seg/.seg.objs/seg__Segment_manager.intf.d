@@ -1,0 +1,1 @@
+lib/seg/segment_manager.mli: Capability Core Mapper

@@ -1,0 +1,30 @@
+type t = { port : int; key : int64 }
+
+let make ~port ~key = { port; key }
+
+(* SplitMix64: deterministic, well-mixed key sequence. *)
+let state = ref 0x9E3779B97F4A7C15L
+
+let next_key () =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let mint ~port = { port; key = next_key () }
+let equal a b = a.port = b.port && Int64.equal a.key b.key
+let compare a b =
+  let c = compare a.port b.port in
+  if c <> 0 then c else Int64.compare a.key b.key
+
+let hash a = Hashtbl.hash (a.port, a.key)
+let pp ppf a = Format.fprintf ppf "cap<port=%d,key=%Lx>" a.port a.key
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

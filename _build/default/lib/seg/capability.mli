@@ -1,0 +1,25 @@
+(** Sparse segment capabilities (paper §5.1.1).
+
+    Segments are designated by capabilities similar to Amoeba's: the
+    mapper's port name plus an opaque key that lets the mapper manage
+    and protect segment access.  Keys are drawn from a keyed
+    pseudo-random sequence so they are unguessable within a run yet
+    deterministic across runs (the simulation never uses wall-clock
+    entropy). *)
+
+type t = private { port : int; key : int64 }
+
+val make : port:int -> key:int64 -> t
+
+val mint : port:int -> t
+(** A fresh capability for [port] with an unguessable key. *)
+
+val next_key : unit -> int64
+(** A fresh opaque key (mappers mint these for their own segments). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Table : Hashtbl.S with type key = t

@@ -1,0 +1,29 @@
+(** The mapper interface (paper §5.1.1).
+
+    A segment is implemented by an independent actor, its mapper,
+    generally on secondary storage.  A mapper exports a standard
+    read/write interface; {e default} mappers additionally export
+    allocation of temporary segments (used for swap and for
+    [rgnAllocate]'d anonymous memory).
+
+    At this layer the mapper is a record of functions; the nucleus
+    library wraps the calls in IPC messages to the mapper's port. *)
+
+exception Bad_capability
+
+type t = {
+  name : string;
+  read : key:int64 -> offset:int -> size:int -> Bytes.t;
+      (** Read segment data.  Reads beyond the segment's current
+          extent return zeroes (segments are sparse).  May block on
+          simulated device time.
+          @raise Bad_capability for an unknown key. *)
+  write : key:int64 -> offset:int -> Bytes.t -> unit;
+      (** Write segment data, growing the segment if needed. *)
+  truncate : key:int64 -> size:int -> unit;
+  segment_size : key:int64 -> int;
+  create_temporary : (unit -> int64) option;
+      (** Present on default mappers: allocate a temporary segment and
+          return its key. *)
+  destroy_segment : key:int64 -> unit;
+}

@@ -1,0 +1,32 @@
+(** A RAM-backed mapper: segments are growable byte stores.
+
+    Used as the default mapper (it supports temporary segments) and as
+    the store behind program images in the MIX layer.  An optional
+    simulated device latency turns it into a "disk": each request
+    charges a fixed seek plus a per-page transfer time, which the
+    discrete-event engine accounts against the calling fibre — this is
+    what makes pull-in/push-out overlap observable. *)
+
+type t
+
+val create :
+  ?seek_time:Hw.Sim_time.span ->
+  ?transfer_time_per_page:Hw.Sim_time.span ->
+  ?page_size:int ->
+  name:string ->
+  unit ->
+  t
+
+val mapper : t -> Mapper.t
+
+val create_segment : t -> ?initial:Bytes.t -> unit -> int64
+(** Allocate a new (permanent) segment, optionally initialised, and
+    return its key. *)
+
+val segment_count : t -> int
+
+val reads : t -> int
+(** Number of read requests served (for the segment-caching
+    ablation). *)
+
+val writes : t -> int

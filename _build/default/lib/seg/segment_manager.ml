@@ -1,0 +1,155 @@
+type stats = {
+  mutable binds : int;
+  mutable bind_hits : int;
+  mutable retention_hits : int;
+  mutable retention_evictions : int;
+  mutable swap_segments : int;
+}
+
+type binding = {
+  b_cap : Capability.t;
+  b_cache : Core.Pvm.cache;
+  mutable b_refs : int;
+  mutable b_lru : int; (* generation of last unbind, for retention LRU *)
+}
+
+type t = {
+  pvm : Core.Pvm.t;
+  mappers : (int, Mapper.t) Hashtbl.t;
+  bindings : binding Capability.Table.t;
+  mutable next_port : int;
+  mutable retention_capacity : int;
+  mutable generation : int;
+  default_mapper_port : int;
+  stats : stats;
+}
+
+let stats t = t.stats
+let set_retention_capacity t n = t.retention_capacity <- n
+
+let mapper_of_port t port =
+  match Hashtbl.find_opt t.mappers port with
+  | Some m -> m
+  | None -> raise Mapper.Bad_capability
+
+(* Build the GMI upcall record for a segment: the translation of
+   Table 3 upcalls into mapper read/write requests (§5.1.2). *)
+let backing_of t (cap : Capability.t) =
+  let mapper = mapper_of_port t cap.port in
+  {
+    Core.Gmi.b_name =
+      Printf.sprintf "%s:%Lx" mapper.Mapper.name cap.key;
+    b_pull_in =
+      (fun ~offset ~size ~prot:_ ~fill_up ->
+        fill_up ~offset (mapper.Mapper.read ~key:cap.key ~offset ~size));
+    b_get_write_access = (fun ~offset:_ ~size:_ -> ());
+    b_push_out =
+      (fun ~offset ~size ~copy_back ->
+        mapper.Mapper.write ~key:cap.key ~offset (copy_back ~offset ~size));
+  }
+
+let register_mapper t mapper =
+  let port = t.next_port in
+  t.next_port <- port + 1;
+  Hashtbl.replace t.mappers port mapper;
+  port
+
+let retained t =
+  Capability.Table.fold
+    (fun _ b acc -> if b.b_refs = 0 then b :: acc else acc)
+    t.bindings []
+
+let bound_count t = Capability.Table.length t.bindings
+let retained_count t = List.length (retained t)
+
+let drop_binding t (b : binding) =
+  (* Save modified data before the local cache disappears. *)
+  Core.Cache.sync_all t.pvm b.b_cache;
+  Core.Cache.destroy t.pvm b.b_cache;
+  Capability.Table.remove t.bindings b.b_cap
+
+let enforce_retention t =
+  let rec go () =
+    let unreferenced = retained t in
+    if List.length unreferenced > t.retention_capacity then begin
+      match
+        List.sort (fun a b -> compare a.b_lru b.b_lru) unreferenced
+      with
+      | oldest :: _ ->
+        t.stats.retention_evictions <- t.stats.retention_evictions + 1;
+        drop_binding t oldest;
+        go ()
+      | [] -> ()
+    end
+  in
+  go ()
+
+let bind t cap =
+  t.stats.binds <- t.stats.binds + 1;
+  (* check the capability is valid before binding *)
+  let _ = (mapper_of_port t cap.Capability.port).Mapper.segment_size
+            ~key:cap.Capability.key
+  in
+  match Capability.Table.find_opt t.bindings cap with
+  | Some b ->
+    if b.b_refs = 0 then t.stats.retention_hits <- t.stats.retention_hits + 1
+    else t.stats.bind_hits <- t.stats.bind_hits + 1;
+    b.b_refs <- b.b_refs + 1;
+    b.b_cache
+  | None ->
+    let cache = Core.Cache.create t.pvm ~backing:(backing_of t cap) () in
+    Capability.Table.replace t.bindings cap
+      { b_cap = cap; b_cache = cache; b_refs = 1; b_lru = 0 };
+    cache
+
+let unbind t cap =
+  match Capability.Table.find_opt t.bindings cap with
+  | None -> invalid_arg "Segment_manager.unbind: not bound"
+  | Some b ->
+    if b.b_refs <= 0 then invalid_arg "Segment_manager.unbind: not referenced";
+    b.b_refs <- b.b_refs - 1;
+    if b.b_refs = 0 then begin
+      t.generation <- t.generation + 1;
+      b.b_lru <- t.generation;
+      if t.retention_capacity = 0 then drop_binding t b
+      else enforce_retention t
+    end
+
+let create_temporary t = Core.Cache.create t.pvm ()
+
+let destroy_temporary t cache = Core.Cache.destroy t.pvm cache
+
+(* The segmentCreate upcall (§5.1.2): give an anonymous cache a swap
+   segment from the default mapper the first time it must page out. *)
+let segment_create_hook t (_cache : Core.Pvm.cache) =
+  let mapper = mapper_of_port t t.default_mapper_port in
+  match mapper.Mapper.create_temporary with
+  | None -> None
+  | Some alloc ->
+    let key = alloc () in
+    t.stats.swap_segments <- t.stats.swap_segments + 1;
+    let cap = Capability.make ~port:t.default_mapper_port ~key in
+    Some (backing_of t cap)
+
+let create ?(retention_capacity = 64) ~pvm ~default_mapper_port () =
+  let t =
+    {
+      pvm;
+      mappers = Hashtbl.create 8;
+      bindings = Capability.Table.create 64;
+      next_port = default_mapper_port;
+      retention_capacity;
+      generation = 0;
+      default_mapper_port;
+      stats =
+        {
+          binds = 0;
+          bind_hits = 0;
+          retention_hits = 0;
+          retention_evictions = 0;
+          swap_segments = 0;
+        };
+    }
+  in
+  Core.Pvm.set_segment_create_hook pvm (segment_create_hook t);
+  t

@@ -1,0 +1,1 @@
+lib/shadow/shadow_vm.ml: Bytes Hashtbl Hw List

@@ -1,0 +1,79 @@
+(** Mach-style virtual memory baseline: shadow objects.
+
+    A behavioural reimplementation of the deferred-copy machinery the
+    paper compares against (§4.2.5, citing Rashid et al. [13] and
+    Nelson & Ousterhout [12]):
+
+    - when a memory object is copied, its pages are set read-only and
+      {e two} new shadow objects are created — one becomes the source
+      mapping's object, the other the copy's; the original pages stay
+      in the (now shared) shadowed object;
+    - a page fault walks the shadow chain towards the original; a
+      write fault copies the page into the chain's top object;
+    - repeated copies grow chains, and the current state of a mapping
+      is dispersed across its chain, so the implementation must
+      garbage-collect: when an interior shadow is referenced only by
+      the object above it, the two are merged ("a major complication
+      of the Mach algorithm").
+
+    The API intentionally parallels the PVM's so the paper's
+    benchmarks (Tables 6, 7) and the chain-growth ablation can drive
+    both implementations with the same workloads.  Costs charge the
+    {!Hw.Cost.mach_sun360} profile by default. *)
+
+type t
+type space
+type entry
+type obj
+
+exception Segmentation_fault of int
+exception Protection_fault of int
+
+val create :
+  ?page_size:int ->
+  ?cost:Hw.Cost.profile ->
+  frames:int ->
+  engine:Hw.Engine.t ->
+  unit ->
+  t
+
+type stats = {
+  mutable n_faults : int;
+  mutable n_zero_fills : int;
+  mutable n_cow_copies : int;
+  mutable n_shadows_created : int;
+  mutable n_collapses : int; (* shadow-chain merges performed *)
+  mutable n_chain_walks : int; (* levels traversed resolving faults *)
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit
+val page_size : t -> int
+val memory : t -> Hw.Phys_mem.t
+
+val space_create : t -> space
+val space_destroy : t -> space -> unit
+
+val allocate :
+  t -> space -> addr:int -> size:int -> prot:Hw.Prot.t -> entry
+(** Map fresh zero-filled memory (the Mach [vm_allocate]). *)
+
+val entry_destroy : t -> entry -> unit
+(** Unmap and dereference the entry's object chain, collapsing
+    shadows that become mergeable. *)
+
+val copy_entry :
+  t -> entry -> dst_space:space -> dst_addr:int -> entry
+(** Copy-on-write copy of a whole entry (the Mach [vm_copy] as used by
+    [fork]): read-protects the source object's resident pages and
+    interposes two fresh shadow objects. *)
+
+val touch : t -> space -> addr:int -> access:Hw.Mmu.access -> unit
+val read : t -> space -> addr:int -> len:int -> Bytes.t
+val write : t -> space -> addr:int -> Bytes.t -> unit
+
+val chain_depth : entry -> int
+(** Length of the shadow chain under the entry's object (for the
+    §4.2.5 chain-growth ablation). *)
+
+val entry_obj_id : entry -> int

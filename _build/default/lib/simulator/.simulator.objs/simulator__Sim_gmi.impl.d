@@ -1,0 +1,1 @@
+lib/simulator/sim_gmi.ml: Bytes Core Hashtbl Hw List

@@ -1,0 +1,1 @@
+lib/simulator/sim_gmi.mli: Core

@@ -1,0 +1,16 @@
+(** The simulator GMI implementation (paper §5.2).
+
+    "A simulation implementation that uses a Unix process as a virtual
+    machine.  This implementation is integrated into the Chorus
+    Nucleus Simulator ... it allows machine-independent kernel
+    evolutions to be developed and validated comfortably."
+
+    Our analogue: no MMU, no page frames — a context is a software
+    translation table and cache contents are plain growable byte
+    stores.  Nothing is deferred and nothing faults lazily, which
+    makes this the {e reference model}: the conformance suite runs it
+    against the PVM and the minimal implementation, so any semantic
+    disagreement between the clever implementations and this obvious
+    one is a bug in the clever ones. *)
+
+include Core.Gmi.S

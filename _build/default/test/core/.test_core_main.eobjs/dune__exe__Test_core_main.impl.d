@@ -1,0 +1,1 @@
+test/core/test_core_main.ml: Alcotest Test_edge Test_faults_inject Test_gmi Test_history Test_pager Test_pervpage Test_props

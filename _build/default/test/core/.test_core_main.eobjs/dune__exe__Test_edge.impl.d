@@ -1,0 +1,1 @@
+test/core/test_edge.ml: Alcotest Bytes Core Format Hw List String

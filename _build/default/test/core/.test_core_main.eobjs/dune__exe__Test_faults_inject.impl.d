@@ -1,0 +1,1 @@
+test/core/test_faults_inject.ml: Alcotest Bytes Core Hashtbl Hw List

@@ -1,0 +1,1 @@
+test/core/test_gmi.ml: Alcotest Bytes Core Hw

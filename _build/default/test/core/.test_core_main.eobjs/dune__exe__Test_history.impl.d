@@ -1,0 +1,1 @@
+test/core/test_history.ml: Alcotest Array Bytes Char Core Hw List Printf

@@ -1,0 +1,1 @@
+test/core/test_pager.ml: Alcotest Bytes Char Core Hashtbl Hw List Printf

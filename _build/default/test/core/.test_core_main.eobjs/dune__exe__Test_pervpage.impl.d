@@ -1,0 +1,1 @@
+test/core/test_pervpage.ml: Alcotest Bytes Core Hw

@@ -1,0 +1,1 @@
+test/core/test_props.ml: Array Bytes Char Core Hashtbl Hw List Printf QCheck QCheck_alcotest String

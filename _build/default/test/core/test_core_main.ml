@@ -1,0 +1,11 @@
+let () =
+  Alcotest.run "core"
+    [
+      ("gmi", Test_gmi.tests);
+      ("history", Test_history.tests);
+      ("pervpage", Test_pervpage.tests);
+      ("pager", Test_pager.tests);
+      ("edge", Test_edge.tests);
+      ("fault-injection", Test_faults_inject.tests);
+      ("properties", Test_props.tests);
+    ]

@@ -1,0 +1,145 @@
+(* Failure injection: segment managers that raise or misbehave must
+   not wedge the memory manager — in particular, synchronization page
+   stubs must never be left behind (waiters would sleep forever). *)
+
+let ps = 8192
+
+exception Disk_error
+
+let flaky_backing ~fail_reads ~fail_writes =
+  let store = Hashtbl.create 8 in
+  {
+    Core.Gmi.b_name = "flaky";
+    b_pull_in =
+      (fun ~offset ~size ~prot:_ ~fill_up ->
+        if !fail_reads then raise Disk_error
+        else
+          let data =
+            match Hashtbl.find_opt store offset with
+            | Some b -> Bytes.copy b
+            | None -> Bytes.make size '\000'
+          in
+          fill_up ~offset data);
+    b_get_write_access = (fun ~offset:_ ~size:_ -> ());
+    b_push_out =
+      (fun ~offset ~size ~copy_back ->
+        if !fail_writes then raise Disk_error
+        else Hashtbl.replace store offset (copy_back ~offset ~size));
+  }
+
+let with_pvm ?(frames = 8) f =
+  let engine = Hw.Engine.create () in
+  Hw.Engine.run_fn engine (fun () ->
+      let pvm = Core.Pvm.create ~frames ~cost:Hw.Cost.free ~engine () in
+      f pvm)
+
+let test_pull_failure_recovers () =
+  with_pvm (fun pvm ->
+      let fail_reads = ref true and fail_writes = ref false in
+      let backing = flaky_backing ~fail_reads ~fail_writes in
+      let cache = Core.Cache.create pvm ~backing () in
+      let ctx = Core.Context.create pvm in
+      let _r =
+        Core.Region.create pvm ctx ~addr:0 ~size:ps ~prot:Hw.Prot.read_write
+          cache ~offset:0
+      in
+      Alcotest.check_raises "pull failure propagates" Disk_error (fun () ->
+          Core.Pvm.touch pvm ctx ~addr:0 ~access:`Read);
+      (* the device recovers; the same access must now succeed (no
+         stale in-transit stub) *)
+      fail_reads := false;
+      Core.Pvm.touch pvm ctx ~addr:0 ~access:`Read;
+      Alcotest.(check int) "eventually two pull attempts" 2
+        (Core.Pvm.stats pvm).Core.Types.n_pull_ins)
+
+let test_pull_failure_wakes_waiters () =
+  let engine = Hw.Engine.create () in
+  let outcomes = ref [] in
+  Hw.Engine.run engine (fun () ->
+      let pvm = Core.Pvm.create ~frames:8 ~cost:Hw.Cost.free ~engine () in
+      let fail_reads = ref true and fail_writes = ref false in
+      let slow_flaky =
+        let inner = flaky_backing ~fail_reads ~fail_writes in
+        {
+          inner with
+          Core.Gmi.b_pull_in =
+            (fun ~offset ~size ~prot ~fill_up ->
+              Hw.Engine.sleep (Hw.Sim_time.ms 5);
+              inner.Core.Gmi.b_pull_in ~offset ~size ~prot ~fill_up);
+        }
+      in
+      let cache = Core.Cache.create pvm ~backing:slow_flaky () in
+      let ctx = Core.Context.create pvm in
+      let _r =
+        Core.Region.create pvm ctx ~addr:0 ~size:ps ~prot:Hw.Prot.read_only
+          cache ~offset:0
+      in
+      (* two fibres race to the same in-transit page; the pull fails *)
+      for i = 1 to 2 do
+        Hw.Engine.spawn engine (fun () ->
+            (match Core.Pvm.touch pvm ctx ~addr:0 ~access:`Read with
+            | () -> outcomes := (i, "ok") :: !outcomes
+            | exception Disk_error -> outcomes := (i, "error") :: !outcomes);
+            (* after the first failure the device heals: retry *)
+            fail_reads := false)
+      done);
+  (* neither fibre may hang: both resolve, the first with an error *)
+  Alcotest.(check int) "both fibres completed" 2 (List.length !outcomes);
+  Alcotest.(check bool) "first failed" true
+    (List.mem (1, "error") !outcomes)
+
+let test_push_failure_keeps_data () =
+  with_pvm ~frames:8 (fun pvm ->
+      let fail_reads = ref false and fail_writes = ref true in
+      let backing = flaky_backing ~fail_reads ~fail_writes in
+      let cache = Core.Cache.create pvm ~backing () in
+      let ctx = Core.Context.create pvm in
+      let _r =
+        Core.Region.create pvm ctx ~addr:0 ~size:ps ~prot:Hw.Prot.read_write
+          cache ~offset:0
+      in
+      Core.Pvm.write pvm ctx ~addr:0 (Bytes.of_string "precious");
+      Alcotest.check_raises "sync failure propagates" Disk_error (fun () ->
+          Core.Cache.sync pvm cache ~offset:0 ~size:ps);
+      (* data still cached and readable; a later sync succeeds *)
+      Alcotest.(check string) "data survives failed sync" "precious"
+        (Bytes.to_string (Core.Pvm.read pvm ctx ~addr:0 ~len:8));
+      fail_writes := false;
+      Core.Cache.sync pvm cache ~offset:0 ~size:ps;
+      fail_reads := false;
+      Core.Cache.invalidate pvm cache ~offset:0 ~size:ps;
+      Alcotest.(check string) "second sync reached the segment" "precious"
+        (Bytes.to_string (Core.Pvm.read pvm ctx ~addr:0 ~len:8)))
+
+let test_lying_mapper_detected () =
+  with_pvm (fun pvm ->
+      (* a mapper that returns without providing data *)
+      let backing =
+        {
+          Core.Gmi.b_name = "liar";
+          b_pull_in = (fun ~offset:_ ~size:_ ~prot:_ ~fill_up:_ -> ());
+          b_get_write_access = (fun ~offset:_ ~size:_ -> ());
+          b_push_out = (fun ~offset:_ ~size:_ ~copy_back:_ -> ());
+        }
+      in
+      let cache = Core.Cache.create pvm ~backing () in
+      let ctx = Core.Context.create pvm in
+      let _r =
+        Core.Region.create pvm ctx ~addr:0 ~size:ps ~prot:Hw.Prot.read_only
+          cache ~offset:0
+      in
+      Alcotest.check_raises "contract violation reported"
+        (Failure "GMI: segment 'liar' pullIn did not provide offset 0")
+        (fun () -> Core.Pvm.touch pvm ctx ~addr:0 ~access:`Read))
+
+let tests =
+  [
+    Alcotest.test_case "pull failure recovers" `Quick
+      test_pull_failure_recovers;
+    Alcotest.test_case "pull failure wakes waiters" `Quick
+      test_pull_failure_wakes_waiters;
+    Alcotest.test_case "push failure keeps data" `Quick
+      test_push_failure_keeps_data;
+    Alcotest.test_case "lying mapper detected" `Quick
+      test_lying_mapper_detected;
+  ]

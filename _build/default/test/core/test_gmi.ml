@@ -1,0 +1,280 @@
+(* Unit tests of the basic GMI operations: contexts, regions, mapped
+   access, explicit cache access, anonymous zero-fill semantics. *)
+
+let ps = 8192
+
+(* Run [f] against a fresh PVM inside the discrete-event engine. *)
+let with_pvm ?(frames = 256) ?(cost = Hw.Cost.free) f =
+  let engine = Hw.Engine.create () in
+  Hw.Engine.run_fn engine (fun () ->
+      let pvm = Core.Pvm.create ~frames ~cost ~engine () in
+      f pvm)
+
+let bytes_of_char c n = Bytes.make n c
+
+let check_bytes msg expected actual =
+  Alcotest.(check string) msg (Bytes.to_string expected) (Bytes.to_string actual)
+
+(* A memory-backed segment for tests: a growable byte store. *)
+let mem_backing ?(name = "test-seg") ?(size = 64 * ps) () =
+  let store = Bytes.make size '\000' in
+  let backing =
+    {
+      Core.Gmi.b_name = name;
+      b_pull_in =
+        (fun ~offset ~size ~prot:_ ~fill_up ->
+          fill_up ~offset (Bytes.sub store offset size));
+      b_get_write_access = (fun ~offset:_ ~size:_ -> ());
+      b_push_out =
+        (fun ~offset ~size ~copy_back ->
+          Bytes.blit (copy_back ~offset ~size) 0 store offset size);
+    }
+  in
+  (backing, store)
+
+let test_zero_fill () =
+  with_pvm (fun pvm ->
+      let ctx = Core.Context.create pvm in
+      let cache = Core.Cache.create pvm () in
+      let region =
+        Core.Region.create pvm ctx ~addr:(16 * ps) ~size:(8 * ps)
+          ~prot:Hw.Prot.read_write cache ~offset:0
+      in
+      let data = Core.Pvm.read pvm ctx ~addr:(16 * ps) ~len:(2 * ps) in
+      check_bytes "fresh anonymous memory is zero"
+        (Bytes.make (2 * ps) '\000')
+        data;
+      Alcotest.(check int)
+        "two zero fills" 2 (Core.Pvm.stats pvm).n_zero_fills;
+      Core.Region.destroy pvm region;
+      Core.Cache.destroy pvm cache)
+
+let test_write_read_back () =
+  with_pvm (fun pvm ->
+      let ctx = Core.Context.create pvm in
+      let cache = Core.Cache.create pvm () in
+      let _region =
+        Core.Region.create pvm ctx ~addr:0 ~size:(4 * ps)
+          ~prot:Hw.Prot.read_write cache ~offset:0
+      in
+      Core.Pvm.write pvm ctx ~addr:100 (bytes_of_char 'x' 300);
+      let back = Core.Pvm.read pvm ctx ~addr:100 ~len:300 in
+      check_bytes "read back what was written" (bytes_of_char 'x' 300) back;
+      (* Straddling a page boundary. *)
+      Core.Pvm.write pvm ctx ~addr:(ps - 10) (bytes_of_char 'y' 20);
+      let back = Core.Pvm.read pvm ctx ~addr:(ps - 10) ~len:20 in
+      check_bytes "page-straddling write" (bytes_of_char 'y' 20) back)
+
+let test_segfault () =
+  with_pvm (fun pvm ->
+      let ctx = Core.Context.create pvm in
+      Alcotest.check_raises "no region -> segmentation fault"
+        (Core.Gmi.Segmentation_fault 42) (fun () ->
+          Core.Pvm.touch pvm ctx ~addr:42 ~access:`Read))
+
+let test_protection_fault () =
+  with_pvm (fun pvm ->
+      let ctx = Core.Context.create pvm in
+      let cache = Core.Cache.create pvm () in
+      let region =
+        Core.Region.create pvm ctx ~addr:0 ~size:ps ~prot:Hw.Prot.read_only
+          cache ~offset:0
+      in
+      Core.Pvm.touch pvm ctx ~addr:0 ~access:`Read;
+      Alcotest.check_raises "write to read-only region"
+        (Core.Gmi.Protection_fault 8) (fun () ->
+          Core.Pvm.touch pvm ctx ~addr:8 ~access:`Write);
+      (* setProtection opens it up *)
+      Core.Region.set_protection pvm region Hw.Prot.read_write;
+      Core.Pvm.touch pvm ctx ~addr:8 ~access:`Write)
+
+let test_region_overlap_rejected () =
+  with_pvm (fun pvm ->
+      let ctx = Core.Context.create pvm in
+      let cache = Core.Cache.create pvm () in
+      let _r =
+        Core.Region.create pvm ctx ~addr:0 ~size:(2 * ps)
+          ~prot:Hw.Prot.read_write cache ~offset:0
+      in
+      Alcotest.check_raises "overlap rejected"
+        (Invalid_argument "regionCreate: regions overlap") (fun () ->
+          ignore
+            (Core.Region.create pvm ctx ~addr:ps ~size:(2 * ps)
+               ~prot:Hw.Prot.read_write cache ~offset:0)))
+
+let test_region_split () =
+  with_pvm (fun pvm ->
+      let ctx = Core.Context.create pvm in
+      let cache = Core.Cache.create pvm () in
+      let r =
+        Core.Region.create pvm ctx ~addr:0 ~size:(4 * ps)
+          ~prot:Hw.Prot.read_write cache ~offset:0
+      in
+      Core.Pvm.write pvm ctx ~addr:0 (bytes_of_char 'a' ps);
+      Core.Pvm.write pvm ctx ~addr:(3 * ps) (bytes_of_char 'b' ps);
+      let right = Core.Region.split pvm r ~offset:(2 * ps) in
+      let s_left = Core.Region.status r and s_right = Core.Region.status right in
+      Alcotest.(check int) "left size" (2 * ps) s_left.s_size;
+      Alcotest.(check int) "right addr" (2 * ps) s_right.s_addr;
+      Alcotest.(check int) "right offset" (2 * ps) s_right.s_offset;
+      (* Different protections on the two halves (the §3.3.2 use case) *)
+      Core.Region.set_protection pvm right Hw.Prot.read_only;
+      Core.Pvm.touch pvm ctx ~addr:0 ~access:`Write;
+      Alcotest.check_raises "right half read-only"
+        (Core.Gmi.Protection_fault (3 * ps)) (fun () ->
+          Core.Pvm.touch pvm ctx ~addr:(3 * ps) ~access:`Write);
+      check_bytes "data still visible through right half"
+        (bytes_of_char 'b' ps)
+        (Core.Pvm.read pvm ctx ~addr:(3 * ps) ~len:ps))
+
+let test_mapped_shared_between_contexts () =
+  with_pvm (fun pvm ->
+      let ctx1 = Core.Context.create pvm and ctx2 = Core.Context.create pvm in
+      let cache = Core.Cache.create pvm () in
+      let _r1 =
+        Core.Region.create pvm ctx1 ~addr:0 ~size:(2 * ps)
+          ~prot:Hw.Prot.read_write cache ~offset:0
+      and _r2 =
+        Core.Region.create pvm ctx2 ~addr:(8 * ps) ~size:(2 * ps)
+          ~prot:Hw.Prot.read_write cache ~offset:0
+      in
+      Core.Pvm.write pvm ctx1 ~addr:16 (bytes_of_char 'z' 64);
+      check_bytes "same segment visible from the second context"
+        (bytes_of_char 'z' 64)
+        (Core.Pvm.read pvm ctx2 ~addr:(8 * ps + 16) ~len:64))
+
+let test_backed_pull_in () =
+  with_pvm (fun pvm ->
+      let backing, store = mem_backing () in
+      Bytes.blit_string "hello from the segment" 0 store 0 22;
+      let cache = Core.Cache.create pvm ~backing () in
+      let ctx = Core.Context.create pvm in
+      let _r =
+        Core.Region.create pvm ctx ~addr:0 ~size:(4 * ps)
+          ~prot:Hw.Prot.read_write cache ~offset:0
+      in
+      check_bytes "mapped file contents"
+        (Bytes.of_string "hello from the segment")
+        (Core.Pvm.read pvm ctx ~addr:0 ~len:22);
+      Alcotest.(check int) "one pullIn" 1 (Core.Pvm.stats pvm).n_pull_ins)
+
+let test_sync_writes_back () =
+  with_pvm (fun pvm ->
+      let backing, store = mem_backing () in
+      let cache = Core.Cache.create pvm ~backing () in
+      let ctx = Core.Context.create pvm in
+      let _r =
+        Core.Region.create pvm ctx ~addr:0 ~size:(4 * ps)
+          ~prot:Hw.Prot.read_write cache ~offset:0
+      in
+      Core.Pvm.write pvm ctx ~addr:0 (bytes_of_char 'm' ps);
+      Alcotest.(check char) "store untouched before sync" '\000'
+        (Bytes.get store 0);
+      Core.Cache.sync pvm cache ~offset:0 ~size:(4 * ps);
+      Alcotest.(check char) "store updated after sync" 'm' (Bytes.get store 0);
+      Alcotest.(check int) "one pushOut" 1 (Core.Pvm.stats pvm).n_push_outs)
+
+let test_explicit_copy_eager () =
+  with_pvm (fun pvm ->
+      let a = Core.Cache.create pvm () and b = Core.Cache.create pvm () in
+      let ctx = Core.Context.create pvm in
+      let _ra =
+        Core.Region.create pvm ctx ~addr:0 ~size:(2 * ps)
+          ~prot:Hw.Prot.read_write a ~offset:0
+      in
+      Core.Pvm.write pvm ctx ~addr:0 (bytes_of_char 'q' (2 * ps));
+      (* unaligned copy -> eager *)
+      Core.Cache.copy pvm ~src:a ~src_off:10 ~dst:b ~dst_off:3 ~size:100 ();
+      check_bytes "eager copy moved the bytes" (bytes_of_char 'q' 100)
+        (Core.Cache.copy_back pvm b ~offset:3 ~size:100))
+
+let test_fill_up_copy_back () =
+  with_pvm (fun pvm ->
+      let cache = Core.Cache.create pvm () in
+      Core.Cache.fill_up pvm cache ~offset:0 (bytes_of_char 'f' (2 * ps));
+      check_bytes "fillUp data readable via copyBack"
+        (bytes_of_char 'f' 100)
+        (Core.Cache.copy_back pvm cache ~offset:ps ~size:100);
+      let back = Core.Cache.move_back pvm cache ~offset:0 ~size:(2 * ps) in
+      check_bytes "moveBack returns contents" (bytes_of_char 'f' (2 * ps)) back;
+      Alcotest.(check int)
+        "moveBack freed the pages" 0
+        (Hw.Phys_mem.used_frames (Core.Pvm.memory pvm)))
+
+let test_invalidate_rereads_segment () =
+  with_pvm (fun pvm ->
+      let backing, store = mem_backing () in
+      Bytes.fill store 0 ps 'A';
+      let cache = Core.Cache.create pvm ~backing () in
+      let ctx = Core.Context.create pvm in
+      let _r =
+        Core.Region.create pvm ctx ~addr:0 ~size:ps ~prot:Hw.Prot.read_write
+          cache ~offset:0
+      in
+      check_bytes "initial read" (bytes_of_char 'A' 4)
+        (Core.Pvm.read pvm ctx ~addr:0 ~len:4);
+      (* segment changes behind our back; invalidate drops the cache *)
+      Bytes.fill store 0 ps 'B';
+      Core.Cache.invalidate pvm cache ~offset:0 ~size:ps;
+      check_bytes "re-pulled after invalidate" (bytes_of_char 'B' 4)
+        (Core.Pvm.read pvm ctx ~addr:0 ~len:4))
+
+let test_lock_in_memory () =
+  with_pvm ~frames:16 (fun pvm ->
+      let cache = Core.Cache.create pvm () in
+      let ctx = Core.Context.create pvm in
+      let r =
+        Core.Region.create pvm ctx ~addr:0 ~size:(4 * ps)
+          ~prot:Hw.Prot.read_write cache ~offset:0
+      in
+      Core.Region.lock_in_memory pvm r;
+      Alcotest.(check int)
+        "locked region fully resident" 4
+        (Hw.Phys_mem.used_frames (Core.Pvm.memory pvm));
+      Alcotest.(check bool) "status says locked" true
+        (Core.Region.status r).s_locked;
+      Core.Region.unlock pvm r;
+      Alcotest.(check bool) "status says unlocked" false
+        (Core.Region.status r).s_locked)
+
+let test_context_destroy_cleans_up () =
+  with_pvm (fun pvm ->
+      let cache = Core.Cache.create pvm () in
+      let ctx = Core.Context.create pvm in
+      let _r =
+        Core.Region.create pvm ctx ~addr:0 ~size:(2 * ps)
+          ~prot:Hw.Prot.read_write cache ~offset:0
+      in
+      Core.Pvm.write pvm ctx ~addr:0 (bytes_of_char 'c' ps);
+      Core.Context.destroy pvm ctx;
+      (* the cache survives the context; its data is intact *)
+      check_bytes "cache data survives context destruction"
+        (bytes_of_char 'c' 4)
+        (Core.Cache.copy_back pvm cache ~offset:0 ~size:4);
+      Core.Cache.destroy pvm cache;
+      Alcotest.(check int)
+        "all frames returned" 0
+        (Hw.Phys_mem.used_frames (Core.Pvm.memory pvm)))
+
+let tests =
+  [
+    Alcotest.test_case "zero-fill" `Quick test_zero_fill;
+    Alcotest.test_case "write/read back" `Quick test_write_read_back;
+    Alcotest.test_case "segmentation fault" `Quick test_segfault;
+    Alcotest.test_case "protection fault" `Quick test_protection_fault;
+    Alcotest.test_case "region overlap rejected" `Quick
+      test_region_overlap_rejected;
+    Alcotest.test_case "region split" `Quick test_region_split;
+    Alcotest.test_case "shared mapping across contexts" `Quick
+      test_mapped_shared_between_contexts;
+    Alcotest.test_case "backed pull-in" `Quick test_backed_pull_in;
+    Alcotest.test_case "sync writes back" `Quick test_sync_writes_back;
+    Alcotest.test_case "eager copy" `Quick test_explicit_copy_eager;
+    Alcotest.test_case "fillUp/copyBack/moveBack" `Quick
+      test_fill_up_copy_back;
+    Alcotest.test_case "invalidate re-reads segment" `Quick
+      test_invalidate_rereads_segment;
+    Alcotest.test_case "lockInMemory" `Quick test_lock_in_memory;
+    Alcotest.test_case "context destroy cleans up" `Quick
+      test_context_destroy_cleans_up;
+  ]

@@ -1,0 +1,243 @@
+(* Page reclaim: eviction to segments, swap via the segmentCreate
+   hook, wiring, out-of-memory behaviour, sync stubs under concurrent
+   access. *)
+
+let ps = 8192
+
+let with_pvm ?(frames = 8) f =
+  let engine = Hw.Engine.create () in
+  Hw.Engine.run_fn engine (fun () ->
+      let pvm = Core.Pvm.create ~frames ~cost:Hw.Cost.free ~engine () in
+      f pvm)
+
+(* A swap device shared by all anonymous caches of a test: the
+   segmentCreate hook gives each cache its own store. *)
+let install_swap pvm =
+  let count = ref 0 in
+  Core.Pvm.set_segment_create_hook pvm (fun _cache ->
+      incr count;
+      let store = Hashtbl.create 16 in
+      Some
+        {
+          Core.Gmi.b_name = Printf.sprintf "swap-%d" !count;
+          b_pull_in =
+            (fun ~offset ~size ~prot:_ ~fill_up ->
+              let data =
+                match Hashtbl.find_opt store offset with
+                | Some bytes -> Bytes.copy bytes
+                | None -> Bytes.make size '\000'
+              in
+              fill_up ~offset data);
+          b_get_write_access = (fun ~offset:_ ~size:_ -> ());
+          b_push_out =
+            (fun ~offset ~size ~copy_back ->
+              Hashtbl.replace store offset (copy_back ~offset ~size));
+        });
+  count
+
+let wpage pvm ctx ~page c =
+  Core.Pvm.write pvm ctx ~addr:(page * ps) (Bytes.make ps c)
+
+let rpage pvm ctx ~page =
+  Bytes.get (Core.Pvm.read pvm ctx ~addr:(page * ps) ~len:1) 0
+
+let test_swap_roundtrip () =
+  with_pvm ~frames:4 (fun pvm ->
+      let swaps = install_swap pvm in
+      let ctx = Core.Context.create pvm in
+      let cache = Core.Cache.create pvm () in
+      let _ =
+        Core.Region.create pvm ctx ~addr:0 ~size:(16 * ps)
+          ~prot:Hw.Prot.read_write cache ~offset:0
+      in
+      (* dirty 8 pages through a 4-frame machine *)
+      for page = 0 to 7 do
+        wpage pvm ctx ~page (Char.chr (Char.code 'a' + page))
+      done;
+      Alcotest.(check bool) "evictions happened" true
+        ((Core.Pvm.stats pvm).n_evictions > 0);
+      Alcotest.(check int) "one swap segment created" 1 !swaps;
+      (* everything reads back correctly, re-pulling from swap *)
+      for page = 0 to 7 do
+        Alcotest.(check char)
+          (Printf.sprintf "page %d survives eviction" page)
+          (Char.chr (Char.code 'a' + page))
+          (rpage pvm ctx ~page)
+      done)
+
+let test_clean_pages_evict_free () =
+  with_pvm ~frames:4 (fun pvm ->
+      (* no swap hook: clean zero-filled pages can still be reclaimed *)
+      let ctx = Core.Context.create pvm in
+      let cache = Core.Cache.create pvm () in
+      let _ =
+        Core.Region.create pvm ctx ~addr:0 ~size:(16 * ps)
+          ~prot:Hw.Prot.read_only cache ~offset:0
+      in
+      for page = 0 to 7 do
+        Core.Pvm.touch pvm ctx ~addr:(page * ps) ~access:`Read
+      done;
+      Alcotest.(check bool) "clean pages were reclaimed" true
+        ((Core.Pvm.stats pvm).n_evictions >= 4);
+      Alcotest.(check int)
+        "no pushOut for clean zero pages" 0 (Core.Pvm.stats pvm).n_push_outs)
+
+let test_out_of_memory () =
+  with_pvm ~frames:4 (fun pvm ->
+      (* dirty anonymous pages with no swap: must raise No_memory *)
+      let ctx = Core.Context.create pvm in
+      let cache = Core.Cache.create pvm () in
+      let _ =
+        Core.Region.create pvm ctx ~addr:0 ~size:(16 * ps)
+          ~prot:Hw.Prot.read_write cache ~offset:0
+      in
+      Alcotest.check_raises "memory exhausted" Core.Gmi.No_memory (fun () ->
+          for page = 0 to 7 do
+            wpage pvm ctx ~page 'x'
+          done))
+
+let test_wired_pages_not_evicted () =
+  with_pvm ~frames:4 (fun pvm ->
+      let _ = install_swap pvm in
+      let ctx = Core.Context.create pvm in
+      let locked_cache = Core.Cache.create pvm () in
+      let cache = Core.Cache.create pvm () in
+      let locked =
+        Core.Region.create pvm ctx ~addr:0 ~size:(2 * ps)
+          ~prot:Hw.Prot.read_write locked_cache ~offset:0
+      in
+      let _ =
+        Core.Region.create pvm ctx ~addr:(64 * ps) ~size:(16 * ps)
+          ~prot:Hw.Prot.read_write cache ~offset:0
+      in
+      Core.Pvm.write pvm ctx ~addr:0 (Bytes.make (2 * ps) 'L');
+      Core.Region.lock_in_memory pvm locked;
+      (* pressure from the other region *)
+      for page = 0 to 5 do
+        Core.Pvm.write pvm ctx ~addr:((64 + page) * ps) (Bytes.make ps 'p')
+      done;
+      (* locked pages never faulted out: accesses must not fault *)
+      let faults_before = (Core.Pvm.stats pvm).n_faults in
+      Alcotest.(check char) "locked data intact" 'L' (rpage pvm ctx ~page:0);
+      Alcotest.(check int)
+        "no fault on locked page" faults_before (Core.Pvm.stats pvm).n_faults)
+
+let test_backed_eviction_writes_back () =
+  with_pvm ~frames:4 (fun pvm ->
+      let store = Bytes.make (16 * ps) '\000' in
+      let backing =
+        {
+          Core.Gmi.b_name = "file";
+          b_pull_in =
+            (fun ~offset ~size ~prot:_ ~fill_up ->
+              fill_up ~offset (Bytes.sub store offset size));
+          b_get_write_access = (fun ~offset:_ ~size:_ -> ());
+          b_push_out =
+            (fun ~offset ~size ~copy_back ->
+              Bytes.blit (copy_back ~offset ~size) 0 store offset size);
+        }
+      in
+      let ctx = Core.Context.create pvm in
+      let cache = Core.Cache.create pvm ~backing () in
+      let _ =
+        Core.Region.create pvm ctx ~addr:0 ~size:(16 * ps)
+          ~prot:Hw.Prot.read_write cache ~offset:0
+      in
+      for page = 0 to 7 do
+        wpage pvm ctx ~page (Char.chr (Char.code 'A' + page))
+      done;
+      (* early pages were evicted and written to the segment *)
+      Alcotest.(check char) "evicted page reached the store" 'A'
+        (Bytes.get store 0);
+      Alcotest.(check char) "and reads back through pullIn" 'A'
+        (rpage pvm ctx ~page:0))
+
+(* Two fibres touching the same in-transit page: the second must sleep
+   on the synchronization stub until pullIn completes. *)
+let test_sync_stub_blocks_concurrent_access () =
+  let engine = Hw.Engine.create () in
+  let log = ref [] in
+  Hw.Engine.run engine (fun () ->
+      let pvm = Core.Pvm.create ~frames:16 ~cost:Hw.Cost.free ~engine () in
+      let slow_backing =
+        {
+          Core.Gmi.b_name = "slow-disk";
+          b_pull_in =
+            (fun ~offset ~size ~prot:_ ~fill_up ->
+              Hw.Engine.sleep (Hw.Sim_time.ms 10);
+              log := "pulled" :: !log;
+              fill_up ~offset (Bytes.make size 'D'));
+          b_get_write_access = (fun ~offset:_ ~size:_ -> ());
+          b_push_out = (fun ~offset:_ ~size:_ ~copy_back:_ -> ());
+        }
+      in
+      let ctx = Core.Context.create pvm in
+      let cache = Core.Cache.create pvm ~backing:slow_backing () in
+      let _ =
+        Core.Region.create pvm ctx ~addr:0 ~size:(4 * ps)
+          ~prot:Hw.Prot.read_only cache ~offset:0
+      in
+      Hw.Engine.spawn engine (fun () ->
+          Core.Pvm.touch pvm ctx ~addr:0 ~access:`Read;
+          log := "first done" :: !log);
+      Hw.Engine.spawn engine (fun () ->
+          (* starts strictly after the first fibre began pulling *)
+          Hw.Engine.sleep (Hw.Sim_time.ms 1);
+          Core.Pvm.touch pvm ctx ~addr:0 ~access:`Read;
+          log := "second done" :: !log));
+  (* exactly one pullIn despite two concurrent faulters *)
+  let pulls = List.filter (( = ) "pulled") !log in
+  Alcotest.(check int) "single pullIn" 1 (List.length pulls);
+  Alcotest.(check (list string))
+    "completion order"
+    [ "second done"; "first done"; "pulled" ]
+    !log
+
+(* The page-out daemon keeps free frames above the low watermark, so
+   a paced allocator never evicts synchronously. *)
+let test_pageout_daemon () =
+  let engine = Hw.Engine.create () in
+  Hw.Engine.run engine (fun () ->
+      let pvm = Core.Pvm.create ~frames:16 ~cost:Hw.Cost.free ~engine () in
+      ignore (install_swap pvm);
+      Core.Pvm.start_pageout_daemon pvm ~period:(Hw.Sim_time.ms 1)
+        ~low_water:4 ~high_water:8;
+      let ctx = Core.Context.create pvm in
+      let cache = Core.Cache.create pvm () in
+      let _r =
+        Core.Region.create pvm ctx ~addr:0 ~size:(64 * ps)
+          ~prot:Hw.Prot.read_write cache ~offset:0
+      in
+      (* dirty 48 pages through a 16-frame machine, paced so the
+         daemon gets to run between bursts *)
+      for page = 0 to 47 do
+        Core.Pvm.write pvm ctx ~addr:(page * ps)
+          (Bytes.make 8 (Char.chr (65 + (page mod 26))));
+        if page mod 4 = 3 then Hw.Engine.sleep (Hw.Sim_time.ms 3)
+      done;
+      Alcotest.(check bool) "daemon kept memory free" true
+        (Hw.Phys_mem.free_frames (Core.Pvm.memory pvm) >= 4);
+      Alcotest.(check bool) "daemon evicted in the background" true
+        ((Core.Pvm.stats pvm).n_evictions > 0);
+      (* correctness preserved across daemon evictions *)
+      for page = 0 to 47 do
+        Alcotest.(check char)
+          (Printf.sprintf "page %d intact" page)
+          (Char.chr (65 + (page mod 26)))
+          (rpage pvm ctx ~page)
+      done)
+
+let tests =
+  [
+    Alcotest.test_case "swap roundtrip" `Quick test_swap_roundtrip;
+    Alcotest.test_case "pageout daemon" `Quick test_pageout_daemon;
+    Alcotest.test_case "clean pages evict free" `Quick
+      test_clean_pages_evict_free;
+    Alcotest.test_case "out of memory" `Quick test_out_of_memory;
+    Alcotest.test_case "wired pages not evicted" `Quick
+      test_wired_pages_not_evicted;
+    Alcotest.test_case "backed eviction writes back" `Quick
+      test_backed_eviction_writes_back;
+    Alcotest.test_case "sync stub blocks concurrent access" `Quick
+      test_sync_stub_blocks_concurrent_access;
+  ]

@@ -1,0 +1,161 @@
+(* Distributed-shared-memory tests: the single-writer / multi-reader
+   invalidation protocol built from the GMI cache controls. *)
+
+let ps = 8192
+
+(* Three sites, each its own PVM, sharing one engine and one coherent
+   segment. *)
+let with_sites ?(n = 3) ?(frames = 64) f =
+  let engine = Hw.Engine.create () in
+  Hw.Engine.run_fn engine (fun () ->
+      let seg = Dsm.Coherent.create ~size:(8 * ps) ~page_size:ps () in
+      let sites =
+        Array.init n (fun _ ->
+            let pvm = Core.Pvm.create ~frames ~cost:Hw.Cost.free ~engine () in
+            let site = Dsm.Coherent.attach seg pvm in
+            let ctx = Core.Context.create pvm in
+            let _r =
+              Core.Region.create pvm ctx ~addr:0 ~size:(8 * ps)
+                ~prot:Hw.Prot.read_write (Dsm.Coherent.cache site) ~offset:0
+            in
+            (pvm, ctx, site))
+      in
+      f seg sites)
+
+let wr (pvm, ctx, _) ~addr s = Core.Pvm.write pvm ctx ~addr (Bytes.of_string s)
+
+let rd (pvm, ctx, _) ~addr ~len =
+  Bytes.to_string (Core.Pvm.read pvm ctx ~addr ~len)
+
+let test_read_sharing () =
+  with_sites (fun seg sites ->
+      wr sites.(0) ~addr:0 "written-at-site0";
+      Alcotest.(check string) "site1 reads site0's write" "written-at-site0"
+        (rd sites.(1) ~addr:0 ~len:16);
+      Alcotest.(check string) "site2 too" "written-at-site0"
+        (rd sites.(2) ~addr:0 ~len:16);
+      (* all three can then share read mode *)
+      let _, _, s0 = sites.(0) and _, _, s1 = sites.(1) and _, _, s2 = sites.(2) in
+      Alcotest.(check bool) "site0 demoted to reader or invalid" true
+        (Dsm.Coherent.mode s0 ~page:0 <> Dsm.Coherent.Writing);
+      Alcotest.(check bool) "site1 reading" true
+        (Dsm.Coherent.mode s1 ~page:0 = Dsm.Coherent.Reading);
+      Alcotest.(check bool) "site2 reading" true
+        (Dsm.Coherent.mode s2 ~page:0 = Dsm.Coherent.Reading);
+      ignore seg)
+
+let test_write_invalidates_readers () =
+  with_sites (fun seg sites ->
+      wr sites.(0) ~addr:0 "v1";
+      ignore (rd sites.(1) ~addr:0 ~len:2);
+      ignore (rd sites.(2) ~addr:0 ~len:2);
+      let inv_before = (Dsm.Coherent.stats seg).invalidations in
+      wr sites.(1) ~addr:0 "v2";
+      Alcotest.(check bool) "invalidations happened" true
+        ((Dsm.Coherent.stats seg).invalidations > inv_before);
+      Alcotest.(check string) "site0 sees the new value" "v2"
+        (rd sites.(0) ~addr:0 ~len:2);
+      Alcotest.(check string) "site2 sees the new value" "v2"
+        (rd sites.(2) ~addr:0 ~len:2))
+
+let test_ping_pong () =
+  with_sites ~n:2 (fun seg sites ->
+      for i = 0 to 9 do
+        let writer = sites.(i mod 2) and reader = sites.((i + 1) mod 2) in
+        wr writer ~addr:0 (Printf.sprintf "round-%02d" i);
+        Alcotest.(check string)
+          (Printf.sprintf "round %d visible on the other site" i)
+          (Printf.sprintf "round-%02d" i)
+          (rd reader ~addr:0 ~len:8)
+      done;
+      Alcotest.(check bool) "ownership migrated repeatedly" true
+        ((Dsm.Coherent.stats seg).write_grants >= 10))
+
+let test_page_granularity () =
+  with_sites ~n:2 (fun seg sites ->
+      (* concurrent writers on different pages don't interfere *)
+      wr sites.(0) ~addr:0 "page0-by-site0";
+      wr sites.(1) ~addr:ps "page1-by-site1";
+      Alcotest.(check string) "cross read page1" "page1-by-site1"
+        (rd sites.(0) ~addr:ps ~len:14);
+      Alcotest.(check string) "cross read page0" "page0-by-site0"
+        (rd sites.(1) ~addr:0 ~len:14);
+      let _, _, s0 = sites.(0) and _, _, s1 = sites.(1) in
+      ignore seg;
+      Alcotest.(check bool) "independent ownership" true
+        (Dsm.Coherent.mode s0 ~page:1 <> Dsm.Coherent.Writing
+        && Dsm.Coherent.mode s1 ~page:0 <> Dsm.Coherent.Writing))
+
+let test_eviction_keeps_coherence () =
+  with_sites ~n:2 ~frames:4 (fun _seg sites ->
+      (* working set larger than one site's memory *)
+      for page = 0 to 7 do
+        wr sites.(0) ~addr:(page * ps) (Printf.sprintf "page-%d" page)
+      done;
+      for page = 7 downto 0 do
+        Alcotest.(check string)
+          (Printf.sprintf "page %d correct at site1" page)
+          (Printf.sprintf "page-%d" page)
+          (rd sites.(1) ~addr:(page * ps) ~len:6)
+      done)
+
+(* Sequentially-consistent oracle: random single-site operations in
+   program order must behave like one flat byte array. *)
+let prop_oracle =
+  let n_sites = 3 and n_pages = 4 in
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 40)
+        (triple (int_bound (n_sites - 1)) (int_bound (n_pages - 1))
+           (map Char.chr (int_range 65 90))))
+  in
+  let print ops =
+    String.concat ";"
+      (List.map (fun (s, p, c) -> Printf.sprintf "(%d,%d,%c)" s p c) ops)
+  in
+  QCheck.Test.make ~count:100 ~name:"DSM matches sequential oracle"
+    (QCheck.make ~print gen) (fun ops ->
+      with_sites ~n:n_sites ~frames:32 (fun _seg sites ->
+          let model = Bytes.make (n_pages * ps) '\000' in
+          List.iteri
+            (fun i (s, p, c) ->
+              let addr = (p * ps) + (i mod 64) in
+              if i mod 3 = 2 then begin
+                (* read check *)
+                let expected = Bytes.sub_string model addr 1 in
+                let got = rd sites.(s) ~addr ~len:1 in
+                if got <> expected then
+                  QCheck.Test.fail_reportf
+                    "read %d at site %d: got %S want %S in [%s]" i s got
+                    expected (print ops)
+              end
+              else begin
+                Bytes.set model addr c;
+                wr sites.(s) ~addr (String.make 1 c)
+              end)
+            ops;
+          (* final: everything visible everywhere *)
+          Array.iteri
+            (fun si site ->
+              let view = rd site ~addr:0 ~len:(n_pages * ps) in
+              if view <> Bytes.to_string model then
+                QCheck.Test.fail_reportf "site %d diverged in [%s]" si
+                  (print ops))
+            sites;
+          true))
+
+let () =
+  Alcotest.run "dsm"
+    [
+      ( "dsm",
+        [
+          Alcotest.test_case "read sharing" `Quick test_read_sharing;
+          Alcotest.test_case "write invalidates readers" `Quick
+            test_write_invalidates_readers;
+          Alcotest.test_case "ping pong" `Quick test_ping_pong;
+          Alcotest.test_case "page granularity" `Quick test_page_granularity;
+          Alcotest.test_case "eviction keeps coherence" `Quick
+            test_eviction_keeps_coherence;
+          QCheck_alcotest.to_alcotest prop_oracle;
+        ] );
+    ]

@@ -1,0 +1,259 @@
+(* Tests of the simulated machine: priority queue, discrete-event
+   engine (determinism, fibres, condition variables, daemons,
+   deadlock detection), physical memory, MMU, protections. *)
+
+(* --- Pqueue --------------------------------------------------------- *)
+
+let test_pqueue_orders () =
+  let h = Hw.Pqueue.create ~cmp:compare in
+  List.iter (Hw.Pqueue.push h) [ 5; 1; 4; 1; 3; 9; 2 ];
+  let out = List.init (Hw.Pqueue.length h) (fun _ -> Hw.Pqueue.pop h) in
+  Alcotest.(check (list int)) "sorted" [ 1; 1; 2; 3; 4; 5; 9 ] out;
+  Alcotest.(check bool) "empty after drain" true (Hw.Pqueue.is_empty h)
+
+let prop_pqueue =
+  QCheck.Test.make ~count:300 ~name:"pqueue = sorted"
+    QCheck.(list int)
+    (fun xs ->
+      let h = Hw.Pqueue.create ~cmp:compare in
+      List.iter (Hw.Pqueue.push h) xs;
+      let out = List.init (List.length xs) (fun _ -> Hw.Pqueue.pop h) in
+      out = List.sort compare xs)
+
+(* --- Engine --------------------------------------------------------- *)
+
+let test_engine_time_and_order () =
+  let engine = Hw.Engine.create () in
+  let log = ref [] in
+  Hw.Engine.run engine (fun () ->
+      log := ("start", Hw.Engine.now engine) :: !log;
+      Hw.Engine.spawn engine (fun () ->
+          Hw.Engine.sleep 50;
+          log := ("b", Hw.Engine.now engine) :: !log);
+      Hw.Engine.sleep 10;
+      log := ("a", Hw.Engine.now engine) :: !log;
+      Hw.Engine.sleep 100;
+      log := ("c", Hw.Engine.now engine) :: !log);
+  Alcotest.(check (list (pair string int)))
+    "events in simulated-time order"
+    [ ("c", 110); ("b", 50); ("a", 10); ("start", 0) ]
+    !log
+
+let test_engine_deterministic () =
+  let run () =
+    let engine = Hw.Engine.create () in
+    let log = ref [] in
+    Hw.Engine.run engine (fun () ->
+        for i = 0 to 4 do
+          Hw.Engine.spawn engine (fun () ->
+              Hw.Engine.sleep ((i * 7) mod 3);
+              log := i :: !log)
+        done);
+    !log
+  in
+  Alcotest.(check (list int)) "two runs identical" (run ()) (run ())
+
+let test_engine_ties_fifo () =
+  let engine = Hw.Engine.create () in
+  let log = ref [] in
+  Hw.Engine.run engine (fun () ->
+      for i = 0 to 3 do
+        Hw.Engine.spawn engine (fun () -> log := i :: !log)
+      done);
+  Alcotest.(check (list int)) "same-time fibres run in spawn order"
+    [ 3; 2; 1; 0 ] !log
+
+let test_cond_broadcast () =
+  let engine = Hw.Engine.create () in
+  let woken = ref 0 in
+  Hw.Engine.run engine (fun () ->
+      let cond = Hw.Engine.Cond.create () in
+      for _ = 1 to 3 do
+        Hw.Engine.spawn engine (fun () ->
+            Hw.Engine.Cond.wait cond;
+            incr woken)
+      done;
+      Hw.Engine.spawn engine (fun () ->
+          Hw.Engine.sleep 5;
+          Alcotest.(check int) "three waiters parked" 3
+            (Hw.Engine.Cond.waiters cond);
+          Hw.Engine.Cond.broadcast cond));
+  Alcotest.(check int) "all woken" 3 !woken
+
+let test_deadlock_detected () =
+  let engine = Hw.Engine.create () in
+  Alcotest.check_raises "stuck fibre detected" (Hw.Engine.Deadlock 1)
+    (fun () ->
+      Hw.Engine.run engine (fun () ->
+          let cond = Hw.Engine.Cond.create () in
+          Hw.Engine.Cond.wait cond))
+
+let test_daemon_not_deadlock () =
+  let engine = Hw.Engine.create () in
+  (* a parked daemon is fine *)
+  Hw.Engine.run engine (fun () ->
+      let cond = Hw.Engine.Cond.create () in
+      Hw.Engine.spawn engine ~daemon:true (fun () -> Hw.Engine.Cond.wait cond));
+  ()
+
+let test_fibre_exception_propagates () =
+  let engine = Hw.Engine.create () in
+  Alcotest.check_raises "exception escapes run" (Failure "boom") (fun () ->
+      Hw.Engine.run engine (fun () ->
+          Hw.Engine.sleep 3;
+          failwith "boom"))
+
+let test_run_fn_returns () =
+  let engine = Hw.Engine.create () in
+  let v =
+    Hw.Engine.run_fn engine (fun () ->
+        Hw.Engine.sleep 42;
+        "result")
+  in
+  Alcotest.(check string) "value returned" "result" v;
+  Alcotest.(check int) "time advanced" 42 (Hw.Engine.now engine)
+
+(* Random fibre trees (spawns, sleeps, cond handoffs) must replay
+   identically: the engine is deterministic by construction. *)
+let prop_engine_deterministic =
+  let gen =
+    QCheck.Gen.(list_size (int_range 1 30) (pair (int_bound 3) (int_bound 20)))
+  in
+  QCheck.Test.make ~count:150 ~name:"engine runs are deterministic"
+    (QCheck.make
+       ~print:(fun l ->
+         String.concat ";"
+           (List.map (fun (k, t) -> Printf.sprintf "(%d,%d)" k t) l))
+       gen)
+    (fun script ->
+      let run () =
+        let engine = Hw.Engine.create () in
+        let log = ref [] in
+        let cond = Hw.Engine.Cond.create () in
+        Hw.Engine.run engine (fun () ->
+            List.iteri
+              (fun i (kind, t) ->
+                Hw.Engine.spawn engine (fun () ->
+                    match kind with
+                    | 0 ->
+                      Hw.Engine.sleep t;
+                      log := (i, Hw.Engine.now engine) :: !log
+                    | 1 ->
+                      Hw.Engine.Cond.wait cond;
+                      log := (i, Hw.Engine.now engine) :: !log
+                    | 2 ->
+                      Hw.Engine.sleep t;
+                      Hw.Engine.Cond.broadcast cond;
+                      log := (i, Hw.Engine.now engine) :: !log
+                    | _ ->
+                      Hw.Engine.sleep (t / 2);
+                      Hw.Engine.spawn engine (fun () ->
+                          log := (1000 + i, Hw.Engine.now engine) :: !log)))
+              script;
+            (* make sure waiters always get released *)
+            Hw.Engine.sleep 1000;
+            Hw.Engine.Cond.broadcast cond);
+        !log
+      in
+      run () = run ())
+
+(* --- Phys_mem ------------------------------------------------------- *)
+
+let test_phys_mem_alloc_free () =
+  let mem = Hw.Phys_mem.create ~frames:4 () in
+  let frames = List.init 4 (fun _ -> Hw.Phys_mem.alloc mem) in
+  Alcotest.(check int) "all used" 0 (Hw.Phys_mem.free_frames mem);
+  Alcotest.check_raises "exhausted" Hw.Phys_mem.Out_of_memory (fun () ->
+      ignore (Hw.Phys_mem.alloc mem));
+  List.iter (Hw.Phys_mem.free mem) frames;
+  Alcotest.(check int) "all free again" 4 (Hw.Phys_mem.free_frames mem);
+  let f = Hw.Phys_mem.alloc mem in
+  Alcotest.check_raises "double free rejected"
+    (Invalid_argument "Phys_mem.free: frame already free") (fun () ->
+      Hw.Phys_mem.free mem f;
+      Hw.Phys_mem.free mem f)
+
+let test_phys_mem_data () =
+  let mem = Hw.Phys_mem.create ~page_size:64 ~frames:2 () in
+  let a = Hw.Phys_mem.alloc mem and b = Hw.Phys_mem.alloc mem in
+  Hw.Phys_mem.fill a 'x';
+  Hw.Phys_mem.bcopy ~src:a ~dst:b;
+  Alcotest.(check string) "bcopy copies" (String.make 8 'x')
+    (Bytes.to_string (Hw.Phys_mem.read b ~off:0 ~len:8));
+  Hw.Phys_mem.bzero a;
+  Alcotest.(check string) "bzero zeroes" (String.make 8 '\000')
+    (Bytes.to_string (Hw.Phys_mem.read a ~off:0 ~len:8));
+  Hw.Phys_mem.write b ~off:10 (Bytes.of_string "yo");
+  Alcotest.(check string) "sub-page write" "yo"
+    (Bytes.to_string (Hw.Phys_mem.read b ~off:10 ~len:2))
+
+(* --- MMU ------------------------------------------------------------ *)
+
+let test_mmu_translate () =
+  let mmu = Hw.Mmu.create ~page_size:4096 in
+  let mem = Hw.Phys_mem.create ~page_size:4096 ~frames:2 () in
+  let space = Hw.Mmu.create_space mmu in
+  let frame = Hw.Phys_mem.alloc mem in
+  Hw.Mmu.map space ~vpn:3 frame Hw.Prot.read_only;
+  (match Hw.Mmu.translate space ~addr:(3 * 4096 + 17) ~access:`Read with
+  | Ok f -> Alcotest.(check int) "right frame" frame.Hw.Phys_mem.index f.Hw.Phys_mem.index
+  | Error _ -> Alcotest.fail "expected translation");
+  (match Hw.Mmu.translate space ~addr:(3 * 4096) ~access:`Write with
+  | Error Hw.Mmu.Protection -> ()
+  | _ -> Alcotest.fail "expected protection fault");
+  (match Hw.Mmu.translate space ~addr:0 ~access:`Read with
+  | Error Hw.Mmu.Unmapped -> ()
+  | _ -> Alcotest.fail "expected unmapped fault");
+  Hw.Mmu.protect space ~vpn:3 Hw.Prot.read_write;
+  (match Hw.Mmu.translate space ~addr:(3 * 4096) ~access:`Write with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "writable after protect");
+  Alcotest.(check int) "invalidate_range counts" 1
+    (Hw.Mmu.invalidate_range space ~vpn:0 ~count:8);
+  Alcotest.(check int) "nothing mapped" 0 (Hw.Mmu.mapped_pages space)
+
+(* --- Prot ----------------------------------------------------------- *)
+
+let test_prot_algebra () =
+  let open Hw.Prot in
+  Alcotest.(check bool) "rw allows write" true (allows read_write `Write);
+  Alcotest.(check bool) "ro forbids write" false (allows read_only `Write);
+  Alcotest.(check bool) "remove_write" false
+    (allows (remove_write all) `Write);
+  Alcotest.(check bool) "remove_write keeps exec" true
+    (allows (remove_write all) `Execute);
+  Alcotest.(check bool) "subsumes reflexive" true (subsumes all all);
+  Alcotest.(check bool) "ro !subsumes rw" false (subsumes read_only read_write);
+  Alcotest.(check bool) "intersect" true
+    (equal (intersect read_write read_execute) read_only);
+  Alcotest.(check string) "to_string" "rw-" (to_string read_write)
+
+let () =
+  Alcotest.run "hw"
+    [
+      ( "pqueue",
+        [
+          Alcotest.test_case "orders" `Quick test_pqueue_orders;
+          QCheck_alcotest.to_alcotest prop_pqueue;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "time and order" `Quick test_engine_time_and_order;
+          Alcotest.test_case "deterministic" `Quick test_engine_deterministic;
+          Alcotest.test_case "ties FIFO" `Quick test_engine_ties_fifo;
+          Alcotest.test_case "cond broadcast" `Quick test_cond_broadcast;
+          Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected;
+          Alcotest.test_case "daemon tolerated" `Quick test_daemon_not_deadlock;
+          Alcotest.test_case "exceptions propagate" `Quick
+            test_fibre_exception_propagates;
+          Alcotest.test_case "run_fn returns" `Quick test_run_fn_returns;
+          QCheck_alcotest.to_alcotest prop_engine_deterministic;
+        ] );
+      ( "phys_mem",
+        [
+          Alcotest.test_case "alloc/free" `Quick test_phys_mem_alloc_free;
+          Alcotest.test_case "data ops" `Quick test_phys_mem_data;
+        ] );
+      ( "mmu", [ Alcotest.test_case "translate" `Quick test_mmu_translate ] );
+      ( "prot", [ Alcotest.test_case "algebra" `Quick test_prot_algebra ] );
+    ]

@@ -1,0 +1,1 @@
+test/mix/test_mix.ml: Alcotest Bytes Char Core Hw Image Mix Nucleus Pipe Printf Process

@@ -1,0 +1,1 @@
+test/mix/test_mix_main.ml: Alcotest Test_mix Test_vfs

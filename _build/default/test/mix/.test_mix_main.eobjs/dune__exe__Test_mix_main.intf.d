@@ -1,0 +1,1 @@
+test/mix/test_mix_main.mli:

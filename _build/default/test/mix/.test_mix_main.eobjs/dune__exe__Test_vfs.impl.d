@@ -1,0 +1,1 @@
+test/mix/test_vfs.ml: Alcotest Bytes Char Hw Image Mix Nucleus Printf Process String Vfs

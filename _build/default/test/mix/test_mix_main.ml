@@ -1,0 +1,1 @@
+let () = Alcotest.run "mix" [ Test_mix.tests; ("vfs", Test_vfs.tests) ]

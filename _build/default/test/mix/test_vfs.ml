@@ -1,0 +1,139 @@
+(* VFS tests: Unix-style file I/O over segments, and the paper's
+   unified-cache guarantee — read/write and mmap of the same file can
+   never diverge because they go through one local cache (§3.2). *)
+
+open Mix
+
+let ps = 8192
+
+let with_vfs ?(frames = 256) f =
+  let engine = Hw.Engine.create () in
+  Hw.Engine.run_fn engine (fun () ->
+      let site = Nucleus.Site.create ~frames ~cost:Hw.Cost.free ~engine () in
+      let images = Image.create_store site in
+      let _ =
+        Image.add_image images ~name:"sh" ~text:(Bytes.make ps 'T')
+          ~data:(Bytes.make ps 'D') ()
+      in
+      let m = Process.create_manager site images in
+      let vfs = Vfs.create m in
+      f ~m ~vfs)
+
+let test_create_open_rw () =
+  with_vfs (fun ~m:_ ~vfs ->
+      Vfs.create_file vfs ~path:"/etc/motd"
+        ~initial:(Bytes.of_string "welcome to chorus/mix") ();
+      Alcotest.(check bool) "exists" true (Vfs.exists vfs ~path:"/etc/motd");
+      let fd = Vfs.openf vfs ~path:"/etc/motd" in
+      Alcotest.(check int) "size" 21 (Vfs.size vfs fd);
+      Alcotest.(check string) "read" "welcome"
+        (Bytes.to_string (Vfs.read vfs fd ~len:7));
+      Alcotest.(check int) "position advanced" 7 (Vfs.tell vfs fd);
+      Alcotest.(check string) "sequential read" " to chorus/mix"
+        (Bytes.to_string (Vfs.read vfs fd ~len:100));
+      Alcotest.(check string) "read at EOF empty" ""
+        (Bytes.to_string (Vfs.read vfs fd ~len:10));
+      Vfs.lseek vfs fd ~pos:11;
+      Vfs.write vfs fd (Bytes.of_string "CHORUS");
+      Vfs.lseek vfs fd ~pos:0;
+      Alcotest.(check string) "overwrite visible" "welcome to CHORUS/mix"
+        (Bytes.to_string (Vfs.read vfs fd ~len:21));
+      Vfs.close vfs fd;
+      Alcotest.check_raises "unknown path" (Vfs.No_such_file "/nope")
+        (fun () -> ignore (Vfs.openf vfs ~path:"/nope")))
+
+let test_grow_and_fsync () =
+  with_vfs (fun ~m:_ ~vfs ->
+      Vfs.create_file vfs ~path:"/log" ();
+      let fd = Vfs.openf vfs ~path:"/log" in
+      let writes_before = Vfs.mapper_writes vfs in
+      for i = 0 to 9 do
+        Vfs.write vfs fd (Bytes.of_string (Printf.sprintf "line-%02d\n" i))
+      done;
+      Alcotest.(check int) "size grows" 80 (Vfs.size vfs fd);
+      Alcotest.(check int) "writes are cached, not device writes"
+        writes_before (Vfs.mapper_writes vfs);
+      Vfs.fsync vfs fd;
+      Alcotest.(check bool) "fsync reached the mapper" true
+        (Vfs.mapper_writes vfs > writes_before);
+      Vfs.lseek vfs fd ~pos:72;
+      Alcotest.(check string) "data intact" "line-09\n"
+        (Bytes.to_string (Vfs.read vfs fd ~len:8)))
+
+(* The dual-caching demonstration: explicit I/O and a mapping of the
+   same file stay coherent with no flushes in between. *)
+let test_unified_cache_no_dual_caching () =
+  with_vfs (fun ~m ~vfs ->
+      Vfs.create_file vfs ~path:"/shared.db"
+        ~initial:(Bytes.make (2 * ps) '.') ();
+      let proc = Process.spawn_init m ~image:"sh" in
+      let fd = Vfs.openf vfs ~path:"/shared.db" in
+      let map_addr = 0x5000_0000 in
+      let _mapping =
+        Vfs.mmap vfs fd proc ~addr:map_addr ~size:(2 * ps)
+          ~prot:Hw.Prot.read_write
+      in
+      (* write() then read through the mapping: NO fsync *)
+      Vfs.lseek vfs fd ~pos:100;
+      Vfs.write vfs fd (Bytes.of_string "via-write()");
+      Alcotest.(check string) "write() visible through mmap immediately"
+        "via-write()"
+        (Bytes.to_string (Process.read proc ~addr:(map_addr + 100) ~len:11));
+      (* store through the mapping, then read(): NO msync *)
+      Process.write proc ~addr:(map_addr + ps) (Bytes.of_string "via-store");
+      Vfs.lseek vfs fd ~pos:ps;
+      Alcotest.(check string) "store visible through read() immediately"
+        "via-store"
+        (Bytes.to_string (Vfs.read vfs fd ~len:9));
+      (* and the device saw one pull per touched page and zero
+         writes: a single cache, nothing re-read or written through
+         for coherence *)
+      Alcotest.(check int) "one pull per touched page" 2
+        (Vfs.mapper_reads vfs);
+      Alcotest.(check int) "no write-through" 0 (Vfs.mapper_writes vfs))
+
+let test_two_fds_share_cache () =
+  with_vfs (fun ~m:_ ~vfs ->
+      Vfs.create_file vfs ~path:"/f" ~initial:(Bytes.make ps 'x') ();
+      let a = Vfs.openf vfs ~path:"/f" and b = Vfs.openf vfs ~path:"/f" in
+      Vfs.write vfs a (Bytes.of_string "first-writer");
+      Alcotest.(check string) "second fd sees it without sync" "first-writer"
+        (Bytes.to_string (Vfs.read vfs b ~len:12));
+      Vfs.close vfs a;
+      Vfs.close vfs b)
+
+(* File cache under memory pressure: clean file pages are reclaimed
+   and re-pulled; dirty ones are NOT written back until fsync (the
+   cache has a backing, so eviction pushes — check contents stay
+   correct either way). *)
+let test_vfs_under_pressure () =
+  with_vfs ~frames:8 (fun ~m:_ ~vfs ->
+      let total = 24 * ps in
+      Vfs.create_file vfs ~path:"/big" ~initial:(Bytes.make total 'F') ();
+      let fd = Vfs.openf vfs ~path:"/big" in
+      (* scribble a marker in each page, walking far beyond memory *)
+      for page = 0 to 23 do
+        Vfs.lseek vfs fd ~pos:(page * ps);
+        Vfs.write vfs fd (Bytes.make 4 (Char.chr (97 + (page mod 26))))
+      done;
+      (* everything reads back right despite evictions *)
+      for page = 23 downto 0 do
+        Vfs.lseek vfs fd ~pos:(page * ps);
+        let b = Vfs.read vfs fd ~len:8 in
+        Alcotest.(check string)
+          (Printf.sprintf "page %d marker+original" page)
+          (String.make 4 (Char.chr (97 + (page mod 26))) ^ "FFFF")
+          (Bytes.to_string b)
+      done;
+      Vfs.close vfs fd)
+
+let tests =
+  [
+    Alcotest.test_case "vfs under pressure" `Quick test_vfs_under_pressure;
+    Alcotest.test_case "create/open/read/write" `Quick test_create_open_rw;
+    Alcotest.test_case "grow and fsync" `Quick test_grow_and_fsync;
+    Alcotest.test_case "unified cache (no dual caching)" `Quick
+      test_unified_cache_no_dual_caching;
+    Alcotest.test_case "two fds share one cache" `Quick
+      test_two_fds_share_cache;
+  ]

@@ -1,0 +1,209 @@
+(* Tests of the Mach-style shadow-object baseline: COW semantics,
+   chain growth under repeated copies, and chain collapse. *)
+
+let ps = 8192
+
+let with_vm ?(frames = 512) f =
+  let engine = Hw.Engine.create () in
+  Hw.Engine.run_fn engine (fun () ->
+      let vm = Shadow.Shadow_vm.create ~frames ~cost:Hw.Cost.free ~engine () in
+      f vm)
+
+let wpage vm sp ~base ~page c =
+  Shadow.Shadow_vm.write vm sp ~addr:(base + (page * ps)) (Bytes.make ps c)
+
+let rpage vm sp ~base ~page =
+  Bytes.get (Shadow.Shadow_vm.read vm sp ~addr:(base + (page * ps)) ~len:1) 0
+
+let test_zero_fill () =
+  with_vm (fun vm ->
+      let sp = Shadow.Shadow_vm.space_create vm in
+      let _e =
+        Shadow.Shadow_vm.allocate vm sp ~addr:0 ~size:(4 * ps) ~prot:Hw.Prot.read_write
+      in
+      Alcotest.(check char) "fresh memory is zero" '\000' (rpage vm sp ~base:0 ~page:2);
+      wpage vm sp ~base:0 ~page:2 'z';
+      Alcotest.(check char) "write sticks" 'z' (rpage vm sp ~base:0 ~page:2))
+
+let test_cow_basic () =
+  with_vm (fun vm ->
+      let sp = Shadow.Shadow_vm.space_create vm in
+      let src =
+        Shadow.Shadow_vm.allocate vm sp ~addr:0 ~size:(4 * ps) ~prot:Hw.Prot.read_write
+      in
+      wpage vm sp ~base:0 ~page:1 'a';
+      let _copy =
+        Shadow.Shadow_vm.copy_entry vm src ~dst_space:sp ~dst_addr:(64 * ps)
+      in
+      Alcotest.(check int)
+        "two shadow objects created" 2
+        (Shadow.Shadow_vm.stats vm).n_shadows_created;
+      (* copy reads the original *)
+      Alcotest.(check char) "copy sees original" 'a'
+        (rpage vm sp ~base:(64 * ps) ~page:1);
+      (* divergence both ways *)
+      wpage vm sp ~base:0 ~page:1 'b';
+      Alcotest.(check char) "copy keeps snapshot" 'a'
+        (rpage vm sp ~base:(64 * ps) ~page:1);
+      wpage vm sp ~base:(64 * ps) ~page:1 'c';
+      Alcotest.(check char) "source unaffected" 'b' (rpage vm sp ~base:0 ~page:1);
+      Alcotest.(check bool) "real copies happened" true
+        ((Shadow.Shadow_vm.stats vm).n_cow_copies >= 2))
+
+(* §4.2.5 problem 1: data modified by the parent is held by its
+   shadow; repeated forks grow the chain until collapse merges it. *)
+let test_chain_growth_and_collapse () =
+  with_vm (fun vm ->
+      let sp = Shadow.Shadow_vm.space_create vm in
+      let src =
+        Shadow.Shadow_vm.allocate vm sp ~addr:0 ~size:(2 * ps) ~prot:Hw.Prot.read_write
+      in
+      wpage vm sp ~base:0 ~page:0 '0';
+      Alcotest.(check int) "no chain initially" 0 (Shadow.Shadow_vm.chain_depth src);
+      (* repeated fork-modify-exit, like a shell *)
+      for i = 1 to 5 do
+        let child =
+          Shadow.Shadow_vm.copy_entry vm src ~dst_space:sp ~dst_addr:((64 * i) * ps)
+        in
+        (* parent modifies its data -> goes into the parent's shadow *)
+        wpage vm sp ~base:0 ~page:0 (Char.chr (Char.code '0' + i));
+        (* child exits *)
+        Shadow.Shadow_vm.entry_destroy vm child
+      done;
+      Alcotest.(check char) "parent sees latest value" '5'
+        (rpage vm sp ~base:0 ~page:0);
+      Alcotest.(check bool) "chains collapsed" true
+        ((Shadow.Shadow_vm.stats vm).n_collapses > 0);
+      Alcotest.(check bool) "chain stays bounded" true
+        (Shadow.Shadow_vm.chain_depth src <= 2))
+
+let test_grandchild_snapshot () =
+  with_vm (fun vm ->
+      let sp = Shadow.Shadow_vm.space_create vm in
+      let a =
+        Shadow.Shadow_vm.allocate vm sp ~addr:0 ~size:(2 * ps) ~prot:Hw.Prot.read_write
+      in
+      wpage vm sp ~base:0 ~page:0 'x';
+      let b = Shadow.Shadow_vm.copy_entry vm a ~dst_space:sp ~dst_addr:(64 * ps) in
+      wpage vm sp ~base:(64 * ps) ~page:1 'y';
+      let _c = Shadow.Shadow_vm.copy_entry vm b ~dst_space:sp ~dst_addr:(128 * ps) in
+      (* grandchild sees both the root's page 0 and b's page 1 *)
+      Alcotest.(check char) "grandchild page 0 via root" 'x'
+        (rpage vm sp ~base:(128 * ps) ~page:0);
+      Alcotest.(check char) "grandchild page 1 via b" 'y'
+        (rpage vm sp ~base:(128 * ps) ~page:1);
+      (* b diverges afterwards; grandchild keeps the snapshot *)
+      wpage vm sp ~base:(64 * ps) ~page:1 'z';
+      Alcotest.(check char) "snapshot preserved" 'y'
+        (rpage vm sp ~base:(128 * ps) ~page:1))
+
+let test_frames_released () =
+  with_vm ~frames:32 (fun vm ->
+      let sp = Shadow.Shadow_vm.space_create vm in
+      let src =
+        Shadow.Shadow_vm.allocate vm sp ~addr:0 ~size:(8 * ps) ~prot:Hw.Prot.read_write
+      in
+      for p = 0 to 7 do
+        wpage vm sp ~base:0 ~page:p 'm'
+      done;
+      let copy = Shadow.Shadow_vm.copy_entry vm src ~dst_space:sp ~dst_addr:(64 * ps) in
+      for p = 0 to 7 do
+        wpage vm sp ~base:(64 * ps) ~page:p 'n'
+      done;
+      Shadow.Shadow_vm.entry_destroy vm copy;
+      Shadow.Shadow_vm.entry_destroy vm src;
+      (* everything is freed once both entries die; a fault may not
+         have run to trigger the last collapse, but destruction must
+         free the chain *)
+      Alcotest.(check int)
+        "all frames released" 0
+        (Hw.Phys_mem.used_frames (Shadow.Shadow_vm.memory vm)))
+
+(* Oracle property, mirroring the PVM one: random writes and COW
+   copies match plain byte arrays. *)
+let prop_oracle =
+  let n_entries = 3 and n_pages = 4 in
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 20)
+        (frequency
+           [
+             ( 3,
+               map3
+                 (fun e p c -> `Write (e, p, c))
+                 (int_bound (n_entries - 1))
+                 (int_bound (n_pages - 1))
+                 (map Char.chr (int_range 65 90)) );
+             ( 1,
+               map
+                 (fun e -> `Reclone e)
+                 (int_bound (n_entries - 1)) );
+           ]))
+  in
+  let print ops =
+    String.concat ";"
+      (List.map
+         (function
+           | `Write (e, p, c) -> Printf.sprintf "W(%d,%d,%c)" e p c
+           | `Reclone e -> Printf.sprintf "R(%d)" e)
+         ops)
+  in
+  QCheck.Test.make ~count:200 ~name:"shadow COW matches oracle"
+    (QCheck.make ~print gen) (fun ops ->
+      with_vm (fun vm ->
+          let sp = Shadow.Shadow_vm.space_create vm in
+          let base i = i * 64 * ps in
+          let root =
+            Shadow.Shadow_vm.allocate vm sp ~addr:0 ~size:(n_pages * ps)
+              ~prot:Hw.Prot.read_write
+          in
+          ignore root;
+          let entries =
+            Array.init n_entries (fun i ->
+                if i = 0 then root
+                else Shadow.Shadow_vm.copy_entry vm root ~dst_space:sp ~dst_addr:(base i))
+          in
+          let model =
+            Array.init n_entries (fun _ -> Bytes.make (n_pages * ps) '\000')
+          in
+          List.iter
+            (fun op ->
+              match op with
+              | `Write (e, p, c) ->
+                let data = Bytes.make 32 c in
+                Bytes.blit data 0 model.(e) ((p * ps) + 5) 32;
+                Shadow.Shadow_vm.write vm sp ~addr:(base e + (p * ps) + 5) data
+              | `Reclone e ->
+                if e <> 0 then begin
+                  Shadow.Shadow_vm.entry_destroy vm entries.(e);
+                  entries.(e) <-
+                    Shadow.Shadow_vm.copy_entry vm entries.(0) ~dst_space:sp
+                      ~dst_addr:(base e);
+                  Bytes.blit model.(0) 0 model.(e) 0 (n_pages * ps)
+                end)
+            ops;
+          Array.iteri
+            (fun i _ ->
+              let actual =
+                Shadow.Shadow_vm.read vm sp ~addr:(base i) ~len:(n_pages * ps)
+              in
+              if not (Bytes.equal actual model.(i)) then
+                QCheck.Test.fail_reportf "entry %d diverged: [%s]" i (print ops))
+            entries;
+          true))
+
+let () =
+  Alcotest.run "shadow"
+    [
+      ( "shadow",
+        [
+          Alcotest.test_case "zero fill" `Quick test_zero_fill;
+          Alcotest.test_case "cow basic" `Quick test_cow_basic;
+          Alcotest.test_case "chain growth and collapse" `Quick
+            test_chain_growth_and_collapse;
+          Alcotest.test_case "grandchild snapshot" `Quick
+            test_grandchild_snapshot;
+          Alcotest.test_case "frames released" `Quick test_frames_released;
+          QCheck_alcotest.to_alcotest prop_oracle;
+        ] );
+    ]
