@@ -1,15 +1,16 @@
 (* Benchmark harness regenerating the paper's evaluation (§5.3).
 
-   Usage: main.exe [table5|table6|table7|prelim|derived|fig3|
-                    ablation-chains|ablation-segcache|ablation-pervpage|ablation-ipc|ablation-dsm|macro|
-                    bechamel|all]
-   With no argument everything runs (the order follows the paper). *)
+   Usage: main.exe [--metrics-out FILE] [SUBCOMMAND...]
+   With no subcommand everything runs (the order follows the paper);
+   [--metrics-out] additionally writes the printed table cells as JSON
+   (see Report). *)
 
 let usage () =
   prerr_endline
-    "usage: main.exe \
+    "usage: main.exe [--metrics-out FILE] \
      [all|table5|table6|table7|prelim|derived|fig3|ablation-chains|\
-     ablation-segcache|ablation-pervpage|bechamel]";
+     ablation-segcache|ablation-pervpage|ablation-ipc|ablation-dsm|macro|\
+     bechamel]";
   exit 2
 
 let run = function
@@ -47,7 +48,14 @@ let () =
     "Chorus GMI/PVM reproduction -- paper evaluation harness\n\
      (simulated times use the calibrated Sun-3/60 cost profiles; paper \
      values in parentheses)\n";
-  match Sys.argv with
-  | [| _ |] -> run "all"
-  | [| _; cmd |] -> run cmd
-  | _ -> usage ()
+  let rec parse = function
+    | "--metrics-out" :: file :: rest ->
+      Report.out := Some file;
+      parse rest
+    | [ "--metrics-out" ] -> usage ()
+    | cmds -> cmds
+  in
+  (match parse (List.tl (Array.to_list Sys.argv)) with
+  | [] -> run "all"
+  | cmds -> List.iter run cmds);
+  Report.write ()

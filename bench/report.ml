@@ -1,0 +1,74 @@
+(* Machine-readable mirror of the matrices the harness prints.
+
+   Every cell that goes through Util.print_matrix is also recorded
+   here; when the harness was invoked with [--metrics-out FILE] the
+   accumulated cells are written as JSON at exit, so CI (or a plotting
+   script) can compare measured against paper values without scraping
+   the text tables. *)
+
+type cell = {
+  table : string;
+  row : string;
+  col : string;
+  measured_ms : float;
+  paper_ms : float;
+}
+
+let cells : cell list ref = ref []
+let out : string option ref = ref None
+
+let add ~table ~row ~col ~measured ~paper =
+  cells := { table; row; col; measured_ms = measured; paper_ms = paper } :: !cells
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Tables in first-recorded order, each with its cells in recording
+   order. *)
+let to_json () =
+  let recorded = List.rev !cells in
+  let tables =
+    List.fold_left
+      (fun acc c -> if List.mem c.table acc then acc else acc @ [ c.table ])
+      [] recorded
+  in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"tables\":[";
+  List.iteri
+    (fun ti t ->
+      if ti > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "{\"name\":\"%s\",\"cells\":[" (escape t));
+      let mine = List.filter (fun c -> c.table = t) recorded in
+      List.iteri
+        (fun ci c ->
+          if ci > 0 then Buffer.add_char b ',';
+          Buffer.add_string b
+            (Printf.sprintf
+               "{\"row\":\"%s\",\"col\":\"%s\",\"measured_ms\":%.3f,\"paper_ms\":%.3f}"
+               (escape c.row) (escape c.col) c.measured_ms c.paper_ms))
+        mine;
+      Buffer.add_string b "]}")
+    tables;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let write () =
+  match !out with
+  | None -> ()
+  | Some file ->
+    Out_channel.with_open_text file (fun oc ->
+        output_string oc (to_json ());
+        output_char oc '\n');
+    Printf.printf "\nwrote metrics report: %s (%d cells)\n" file
+      (List.length !cells)

@@ -17,7 +17,9 @@ let sim_time engine f =
 let ms_of_ns ns = float_of_int ns /. 1e6
 
 (* Print a paper-style matrix: rows = region sizes, columns = actual
-   amounts.  [cell row col] returns [Some (measured_ms, paper_ms)]. *)
+   amounts.  [cell row col] returns [Some (measured_ms, paper_ms)].
+   Every printed cell is also recorded in {!Report} for the optional
+   machine-readable metrics report. *)
 let print_matrix ~title ~rows ~cols ~cell =
   Printf.printf "\n%s\n" title;
   Printf.printf "%-12s" "region";
@@ -27,10 +29,11 @@ let print_matrix ~title ~rows ~cols ~cell =
     (fun ri r ->
       Printf.printf "%-12s" r;
       List.iteri
-        (fun ci _ ->
+        (fun ci c ->
           match cell ri ci with
           | None -> Printf.printf "  %16s" "-"
           | Some (measured, paper) ->
+            Report.add ~table:title ~row:r ~col:c ~measured ~paper;
             Printf.printf "  %7.2f (%6.2f)" measured paper)
         cols;
       print_newline ())

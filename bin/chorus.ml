@@ -7,6 +7,8 @@
      dsm N              ping-pong a page between two sites N times
      inspect            build a small scenario and dump the live
                         Figure 2 structures
+     trace SCENARIO     capture a Chrome trace of a scenario
+     stats SCENARIO     print the metrics-registry report of a scenario
 
    The full evaluation lives in bench/main.exe; the walkthroughs in
    examples/. *)
@@ -136,8 +138,157 @@ let inspect () =
       Format.printf "%a@.@.%a@." Core.Inspect.pp_state pvm
         Core.Inspect.pp_context ctx)
 
+(* Scenario bodies shared by the trace and stats subcommands: the same
+   workloads as the interactive commands above, but quiet, and under
+   the calibrated Sun-3/60 profile (the [create] default) so spans
+   carry durations and the per-primitive attribution is populated.
+   Each returns the PVM instances involved, for reporting. *)
+
+let scenario_fig3 engine =
+  let pvm = Core.Pvm.create ~frames:256 ~engine () in
+  let ctx = Core.Context.create pvm in
+  let mk base =
+    let cache = Core.Cache.create pvm () in
+    let _ =
+      Core.Region.create pvm ctx ~addr:base ~size:(4 * ps)
+        ~prot:Hw.Prot.read_write cache ~offset:0
+    in
+    cache
+  in
+  let src = mk 0 and cpy1 = mk (1024 * ps) and cpy2 = mk (2048 * ps) in
+  Core.Pvm.write pvm ctx ~addr:ps (Bytes.make ps '1');
+  let copy dst =
+    Core.Cache.copy pvm ~strategy:`History ~src ~src_off:0 ~dst ~dst_off:0
+      ~size:(4 * ps) ()
+  in
+  copy cpy1;
+  Core.Pvm.write pvm ctx ~addr:ps (Bytes.make ps 'X');
+  copy cpy2;
+  Core.Pvm.write pvm ctx ~addr:(1024 * ps) (Bytes.make ps 'c');
+  [ pvm ]
+
+let scenario_fork engine =
+  let site = Nucleus.Site.create ~frames:2048 ~engine () in
+  let images = Mix.Image.create_store site in
+  let _ =
+    Mix.Image.add_image images ~name:"sh"
+      ~text:(Bytes.make (4 * ps) 'T')
+      ~data:(Bytes.make (4 * ps) 'D')
+      ()
+  in
+  let m = Mix.Process.create_manager site images in
+  let shell = Mix.Process.spawn_init m ~image:"sh" in
+  for i = 1 to 4 do
+    let child = Mix.Process.fork m shell in
+    Mix.Process.write shell ~addr:Mix.Process.data_base
+      (Bytes.make 32 (Char.chr (65 + (i mod 26))));
+    Mix.Process.exit_ m child ~status:0;
+    ignore (Mix.Process.wait m shell)
+  done;
+  [ site.Nucleus.Site.pvm ]
+
+let scenario_dsm engine =
+  let seg =
+    Dsm.Coherent.create ~latency:(Hw.Sim_time.ms 2) ~size:(4 * ps)
+      ~page_size:ps ()
+  in
+  let mk () =
+    let pvm = Core.Pvm.create ~frames:32 ~engine () in
+    let site = Dsm.Coherent.attach seg pvm in
+    let ctx = Core.Context.create pvm in
+    let _ =
+      Core.Region.create pvm ctx ~addr:0 ~size:(4 * ps)
+        ~prot:Hw.Prot.read_write (Dsm.Coherent.cache site) ~offset:0
+    in
+    (pvm, ctx)
+  in
+  let a = mk () and b = mk () in
+  for i = 1 to 10 do
+    let pvm, ctx = if i mod 2 = 0 then a else b in
+    Core.Pvm.write pvm ctx ~addr:0
+      (Bytes.of_string (Printf.sprintf "round-%d" i))
+  done;
+  [ fst a; fst b ]
+
+let scenario_ipc engine =
+  let site = Nucleus.Site.create ~frames:256 ~engine () in
+  let transit = Nucleus.Transit.create site ~slots:4 () in
+  let sender = Nucleus.Actor.create site in
+  let receiver = Nucleus.Actor.create site in
+  let _ =
+    Nucleus.Actor.rgn_allocate sender ~addr:0 ~size:(16 * ps)
+      ~prot:Hw.Prot.read_write
+  in
+  let _ =
+    Nucleus.Actor.rgn_allocate receiver ~addr:0 ~size:(16 * ps)
+      ~prot:Hw.Prot.read_write
+  in
+  let endpoint = Nucleus.Ipc.make_endpoint () in
+  Nucleus.Actor.write sender ~addr:0 (Bytes.make (4 * ps) 'i');
+  for _ = 1 to 4 do
+    Nucleus.Ipc.send sender transit ~dst:endpoint ~addr:0 ~len:(4 * ps);
+    ignore (Nucleus.Ipc.receive receiver transit endpoint ~addr:0)
+  done;
+  [ site.Nucleus.Site.pvm ]
+
+let scenarios =
+  [
+    ("fig3", scenario_fig3);
+    ("fork", scenario_fork);
+    ("dsm", scenario_dsm);
+    ("ipc", scenario_ipc);
+  ]
+
+let scenario_body name =
+  match List.assoc_opt name scenarios with
+  | Some body -> body
+  | None ->
+    Printf.eprintf "chorus: unknown scenario '%s' (available: %s)\n" name
+      (String.concat ", " (List.map fst scenarios));
+    exit 2
+
+let trace scenario out =
+  let body = scenario_body scenario in
+  let tr = Obs.Trace.create () in
+  let engine = Hw.Engine.create () in
+  Hw.Engine.set_tracer engine tr;
+  Obs.Trace.enable tr;
+  let _pvms = Hw.Engine.run_fn engine (fun () -> body engine) in
+  let json = Obs.Trace.to_chrome_json tr in
+  match out with
+  | None -> print_endline json
+  | Some file ->
+    (try
+       Out_channel.with_open_text file (fun oc ->
+           output_string oc json;
+           output_char oc '\n')
+     with Sys_error msg ->
+       Printf.eprintf "chorus trace: %s\n" msg;
+       exit 1);
+    Printf.printf
+      "wrote %s: %d events (%d dropped); load in ui.perfetto.dev or \
+       chrome://tracing\n"
+      file (Obs.Trace.length tr) (Obs.Trace.dropped tr)
+
+let stats scenario =
+  let body = scenario_body scenario in
+  let engine = Hw.Engine.create () in
+  let pvms = Hw.Engine.run_fn engine (fun () -> body engine) in
+  let many = List.length pvms > 1 in
+  List.iteri
+    (fun i pvm ->
+      if many then Format.printf "=== pvm %d ===@." i;
+      Format.printf "%a@." Obs.Metrics.pp (Core.Pvm.metrics pvm))
+    pvms
+
 let n_arg ~doc default =
   Arg.(value & pos 0 int default & info [] ~docv:"N" ~doc)
+
+let scenario_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"SCENARIO" ~doc:"one of: fig3, fork, dsm, ipc")
 
 let cmds =
   [
@@ -154,6 +305,24 @@ let cmds =
     Cmd.v
       (Cmd.info "inspect" ~doc:"dump live PVM structures for a tiny scenario")
       Term.(const inspect $ const ());
+    Cmd.v
+      (Cmd.info "trace"
+         ~doc:
+           "run a scenario with tracing enabled and emit Chrome trace_event \
+            JSON (Perfetto-loadable)")
+      Term.(
+        const trace $ scenario_arg
+        $ Arg.(
+            value
+            & opt (some string) None
+            & info [ "o"; "output" ] ~docv:"FILE"
+                ~doc:"write the trace to $(docv) instead of stdout"));
+    Cmd.v
+      (Cmd.info "stats"
+         ~doc:
+           "run a scenario and print its metrics-registry report (counters, \
+            fault-latency histograms, per-primitive attribution)")
+      Term.(const stats $ scenario_arg);
   ]
 
 let () =

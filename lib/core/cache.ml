@@ -315,7 +315,7 @@ let invalidate_window pvm (cache : cache) ~off ~size =
             (match Pmap.page_at_frame pvm frame with
             | Some page -> Pmap.drop_mapping page region ~vpn
             | None -> ());
-            charge pvm pvm.cost.t_invalidate_page;
+            charge pvm Hw.Cost.Invalidate_page;
             Hw.Mmu.unmap region.r_context.ctx_space ~vpn
           | None -> ()
         done
@@ -412,7 +412,7 @@ let eager_copy pvm ~(src : cache) ~src_off ~(dst : cache) ~dst_off ~size =
                   dp.p_frame.Hw.Phys_mem.bytes (d - d_page) chunk)
           | `Zero ->
             Bytes.fill dp.p_frame.Hw.Phys_mem.bytes (d - d_page) chunk '\000');
-      charge pvm (pvm.cost.t_bcopy_page * chunk / ps);
+      charge_span pvm Hw.Cost.Bcopy_page (pvm.cost.t_bcopy_page * chunk / ps);
       pvm.stats.n_eager_pages <- pvm.stats.n_eager_pages + 1;
       go (copied + chunk)
     end
@@ -483,7 +483,7 @@ let move pvm ~(src : cache) ~src_off ~(dst : cache) ~dst_off ~size () =
           match Global_map.wait_not_in_transit pvm src ~off:o with
           | Some (Resident p)
             when p.p_cow_stubs = [] && not p.p_cow_protected ->
-            charge pvm pvm.cost.t_mmu_map;
+            charge pvm Hw.Cost.Mmu_map;
             Install.reassign_page pvm p dst ~dst_off:d_off;
             p.p_dirty <- true
           | Some (Cow_stub s) when not (History.is_covered src ~off:o) ->
@@ -493,7 +493,7 @@ let move pvm ~(src : cache) ~src_off ~(dst : cache) ~dst_off ~size () =
             Global_map.remove pvm src ~off:o;
             s.cs_cache <- dst;
             s.cs_offset <- d_off;
-            charge pvm pvm.cost.t_stub_insert;
+            charge pvm Hw.Cost.Stub_insert;
             Global_map.set pvm dst ~off:d_off (Cow_stub s);
             pvm.stats.n_moved_pages <- pvm.stats.n_moved_pages + 1
           | Some _ | None -> (
@@ -504,7 +504,7 @@ let move pvm ~(src : cache) ~src_off ~(dst : cache) ~dst_off ~size () =
             | `Page sp ->
               Pervpage.with_wired sp (fun () ->
                   let dp = Fault.own_writable_page pvm dst ~off:d_off in
-                  charge pvm pvm.cost.t_bcopy_page;
+                  charge pvm Hw.Cost.Bcopy_page;
                   Hw.Phys_mem.bcopy ~src:sp.p_frame ~dst:dp.p_frame);
               pvm.stats.n_eager_pages <- pvm.stats.n_eager_pages + 1
             | `Zero -> ()))
@@ -542,7 +542,7 @@ let write_through pvm (cache : cache) ~offset bytes =
       Pervpage.with_wired p (fun () ->
           Bytes.blit bytes done_ p.p_frame.Hw.Phys_mem.bytes (o - o_page)
             chunk);
-      charge pvm (pvm.cost.t_bcopy_page * chunk / ps);
+      charge_span pvm Hw.Cost.Bcopy_page (pvm.cost.t_bcopy_page * chunk / ps);
       go (done_ + chunk)
     end
   in
@@ -562,7 +562,7 @@ let copy_back pvm (cache : cache) ~offset ~size =
       | `Page p ->
         Bytes.blit p.p_frame.Hw.Phys_mem.bytes (o - o_page) out done_ chunk
       | `Zero -> Bytes.fill out done_ chunk '\000');
-      charge pvm (pvm.cost.t_bcopy_page * chunk / ps);
+      charge_span pvm Hw.Cost.Bcopy_page (pvm.cost.t_bcopy_page * chunk / ps);
       go (done_ + chunk)
     end
   in

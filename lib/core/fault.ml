@@ -24,11 +24,11 @@ let child_copy pvm (cache : cache) ~off =
     let frame = Pager.alloc_frame pvm in
     (match source_frame with
     | Some (sf : Hw.Phys_mem.frame) ->
-      charge pvm pvm.cost.t_bcopy_page;
+      charge pvm Hw.Cost.Bcopy_page;
       Hw.Phys_mem.bcopy ~src:sf ~dst:frame;
       pvm.stats.n_cow_copies <- pvm.stats.n_cow_copies + 1
     | None ->
-      charge pvm pvm.cost.t_bzero_page;
+      charge pvm Hw.Cost.Bzero_page;
       Hw.Phys_mem.bzero frame;
       pvm.stats.n_zero_fills <- pvm.stats.n_zero_fills + 1);
     let page =
@@ -50,7 +50,7 @@ let child_copy pvm (cache : cache) ~off =
     (match History.covered_and_missing pvm cache ~off with
     | Some (h, h_off) ->
       let frame = Pager.alloc_frame pvm in
-      charge pvm pvm.cost.t_bzero_page;
+      charge pvm Hw.Cost.Bzero_page;
       Hw.Phys_mem.bzero frame;
       let hp =
         Install.insert_page pvm h ~off:h_off frame ~pulled_prot:Hw.Prot.all
@@ -108,37 +108,102 @@ let rec own_writable_page pvm (cache : cache) ~off =
     end
     else prepare (Value.zero_fill_page pvm cache ~off)
 
-(* Resolve a fault against (region, cache, off) and install the MMU
-   mapping at [vpn]. *)
-let rec resolve pvm (region : region) (cache : cache) ~off ~vpn ~access =
+(* The §4.1.2 resolution a fault took — the attribution key of the
+   paper's §5.3.2 decomposition.  [`Cow_copy] covers both the
+   history-walk copy of a child and the original-saving write on a
+   read-protected source; [`Borrow] is a read serviced by mapping an
+   ancestor's page read-only; [`Upgrade] re-obtains write access for
+   data pulled read-only (or re-dirties a clean page). *)
+type resolution =
+  [ `Hit
+  | `Upgrade
+  | `Zero_fill
+  | `Pull_in
+  | `Cow_copy
+  | `Stub_resolve
+  | `Borrow ]
+
+let resolution_name : resolution -> string = function
+  | `Hit -> "hit"
+  | `Upgrade -> "upgrade"
+  | `Zero_fill -> "zero-fill"
+  | `Pull_in -> "pull-in"
+  | `Cow_copy -> "cow-copy"
+  | `Stub_resolve -> "stub-resolve"
+  | `Borrow -> "borrow"
+
+(* Static strings: the per-fault histogram update must not allocate. *)
+let hist_name : resolution -> string = function
+  | `Hit -> "fault.hit"
+  | `Upgrade -> "fault.upgrade"
+  | `Zero_fill -> "fault.zero-fill"
+  | `Pull_in -> "fault.pull-in"
+  | `Cow_copy -> "fault.cow-copy"
+  | `Stub_resolve -> "fault.stub-resolve"
+  | `Borrow -> "fault.borrow"
+
+(* Resolve a fault against (region, cache, off), install the MMU
+   mapping at [vpn], and report which resolution was taken. *)
+let rec resolve pvm (region : region) (cache : cache) ~off ~vpn ~access :
+    resolution =
   match Global_map.wait_not_in_transit pvm cache ~off with
-  | Some (Resident _) ->
+  | Some (Resident p) ->
+    (* Classify before resolving: [own_writable_page] erases the
+       evidence (saves originals, flushes stubs, upgrades rights). *)
+    let kind : resolution =
+      match access with
+      | `Write ->
+        if p.p_cow_protected || p.p_cow_stubs <> [] then `Cow_copy
+        else if not (Hw.Prot.allows p.p_pulled_prot `Write) || not p.p_dirty
+        then `Upgrade
+        else `Hit
+      | `Read | `Execute -> `Hit
+    in
     (match access with
     | `Write -> ignore (own_writable_page pvm cache ~off)
     | `Read | `Execute -> ());
     (* own_writable_page may have replaced structures; re-fetch. *)
     (match Global_map.peek pvm cache ~off with
-    | Some (Resident p') -> Pmap.enter pvm p' region ~vpn
-    | _ -> resolve pvm region cache ~off ~vpn ~access)
+    | Some (Resident p') ->
+      Pmap.enter pvm p' region ~vpn;
+      kind
+    | _ ->
+      let deeper = resolve pvm region cache ~off ~vpn ~access in
+      if kind = `Hit then deeper else kind)
   | Some (Cow_stub s) -> (
     match access with
     | `Write ->
       let p = own_writable_page pvm cache ~off in
-      Pmap.enter pvm p region ~vpn
+      Pmap.enter pvm p region ~vpn;
+      `Stub_resolve
     | `Read | `Execute -> (
       match Pervpage.resolve_read pvm s with
-      | `Borrow p -> Pmap.enter pvm p region ~vpn
-      | `Own p -> Pmap.enter pvm p region ~vpn))
+      | `Borrow p ->
+        Pmap.enter pvm p region ~vpn;
+        `Borrow
+      | `Own p ->
+        Pmap.enter pvm p region ~vpn;
+        `Stub_resolve))
   | Some (Sync_stub _) -> assert false
   | None -> (
     match access with
     | `Write ->
+      (* Mirror [own_writable_page]'s dispatch to name the path it
+         will take; the probes are pure lookups, charged nothing. *)
+      let kind : resolution =
+        if Value.has_swapped cache ~off then `Pull_in
+        else if Parents.find_covering cache ~off <> None then `Cow_copy
+        else if cache.c_backing <> None && not cache.c_anonymous then `Pull_in
+        else `Zero_fill
+      in
       let p = own_writable_page pvm cache ~off in
-      Pmap.enter pvm p region ~vpn
+      Pmap.enter pvm p region ~vpn;
+      kind
     | `Read | `Execute -> (
       if Value.has_swapped cache ~off then begin
         ignore (Value.pull_in_page pvm cache ~off ~prot:Hw.Prot.all);
-        resolve pvm region cache ~off ~vpn ~access
+        let _deeper = resolve pvm region cache ~off ~vpn ~access in
+        `Pull_in
       end
       else
         match Parents.find_covering cache ~off with
@@ -146,38 +211,73 @@ let rec resolve pvm (region : region) (cache : cache) ~off ~vpn ~access =
           match frag.f_policy with
           | `Copy_on_reference ->
             let p = child_copy pvm cache ~off in
-            Pmap.enter pvm p region ~vpn
+            Pmap.enter pvm p region ~vpn;
+            `Cow_copy
           | `Copy_on_write -> (
             match Value.source_value pvm cache ~off with
             | `Page p ->
               (* Borrowed read-only mapping of the ancestor's page. *)
-              Pmap.enter pvm p region ~vpn
+              Pmap.enter pvm p region ~vpn;
+              `Borrow
             | `Zero ->
               let p = Value.zero_fill_page pvm cache ~off in
-              Pmap.enter pvm p region ~vpn))
+              Pmap.enter pvm p region ~vpn;
+              `Zero_fill))
         | None ->
           if cache.c_backing <> None && not cache.c_anonymous then begin
             (* Cached data carries the rights of pullIn's accessMode
                (§3.3.3): a read fault pulls read-only; a later write
                upgrades through getWriteAccess. *)
             ignore (Value.pull_in_page pvm cache ~off ~prot:Hw.Prot.read_only);
-            resolve pvm region cache ~off ~vpn ~access
+            let _deeper = resolve pvm region cache ~off ~vpn ~access in
+            `Pull_in
           end
           else begin
             let p = Value.zero_fill_page pvm cache ~off in
-            Pmap.enter pvm p region ~vpn
+            Pmap.enter pvm p region ~vpn;
+            `Zero_fill
           end))
+
+let access_name = function
+  | `Read -> "read"
+  | `Write -> "write"
+  | `Execute -> "execute"
 
 let handle pvm (ctx : context) ~addr ~(access : Hw.Mmu.access) =
   check_context_alive ctx;
   pvm.stats.n_faults <- pvm.stats.n_faults + 1;
-  charge pvm pvm.cost.t_fault_dispatch;
-  match find_region ctx ~addr with
-  | None -> raise (Gmi.Segmentation_fault addr)
-  | Some region ->
-    if not (Hw.Prot.allows region.r_prot access) then
-      raise (Gmi.Protection_fault addr);
-    let off = page_align_down pvm (region.r_offset + (addr - region.r_addr)) in
-    let vpn = addr / page_size pvm in
-    charge pvm pvm.cost.t_map_lookup;
-    resolve pvm region region.r_cache ~off ~vpn ~access
+  let tr = Hw.Engine.tracer pvm.engine in
+  let traced = Obs.Trace.enabled tr in
+  if traced then Obs.Trace.span_begin tr ~cat:"vm" "fault";
+  let t0 = Hw.Engine.now pvm.engine in
+  match
+    charge pvm Hw.Cost.Fault_dispatch;
+    match find_region ctx ~addr with
+    | None -> raise (Gmi.Segmentation_fault addr)
+    | Some region ->
+      if not (Hw.Prot.allows region.r_prot access) then
+        raise (Gmi.Protection_fault addr);
+      let off =
+        page_align_down pvm (region.r_offset + (addr - region.r_addr))
+      in
+      let vpn = addr / page_size pvm in
+      charge pvm Hw.Cost.Map_lookup;
+      resolve pvm region region.r_cache ~off ~vpn ~access
+  with
+  | kind ->
+    Obs.Metrics.observe
+      (Obs.Metrics.histogram pvm.obs (hist_name kind))
+      (Hw.Engine.now pvm.engine - t0);
+    if traced then
+      Obs.Trace.span_end tr
+        ~args:
+          [
+            ("addr", Int addr);
+            ("access", Str (access_name access));
+            ("resolution", Str (resolution_name kind));
+          ]
+  | exception e ->
+    if traced then
+      Obs.Trace.span_end tr
+        ~args:[ ("addr", Int addr); ("resolution", Str "error") ];
+    raise e

@@ -23,6 +23,23 @@ val own_writable_page : Types.pvm -> Types.cache -> off:int -> Types.page
     the fault handler and by the explicit copy operations of
     Table 1. *)
 
+type resolution =
+  [ `Hit
+  | `Upgrade
+  | `Zero_fill
+  | `Pull_in
+  | `Cow_copy
+  | `Stub_resolve
+  | `Borrow ]
+(** Which §4.1.2 path serviced the fault — the attribution key of the
+    §5.3.2-style decompositions.  [`Hit]: the page was resident and
+    usable (e.g. a racing fibre resolved it first); [`Upgrade]: write
+    access re-obtained for data pulled read-only; [`Borrow]: read
+    serviced by mapping an ancestor's page read-only. *)
+
+val resolution_name : resolution -> string
+(** Stable display name ("zero-fill", "pull-in", "cow-copy", ...). *)
+
 val resolve :
   Types.pvm ->
   Types.region ->
@@ -30,11 +47,14 @@ val resolve :
   off:int ->
   vpn:int ->
   access:Hw.Mmu.access ->
-  unit
-(** Resolve a fault against (region, cache, off) and install the MMU
-    mapping at [vpn]. *)
+  resolution
+(** Resolve a fault against (region, cache, off), install the MMU
+    mapping at [vpn], and report which resolution was taken. *)
 
 val handle : Types.pvm -> Types.context -> addr:int -> access:Hw.Mmu.access -> unit
-(** The trap handler.
+(** The trap handler.  Records one "fault" trace span (when tracing is
+    enabled) tagged with the resolution kind, and observes the fault's
+    simulated latency in the "fault.<kind>" histogram of the PVM's
+    metrics registry.
     @raise Gmi.Segmentation_fault if no region covers [addr].
     @raise Gmi.Protection_fault if the region forbids the access. *)

@@ -8,7 +8,7 @@ open Types
 let key (cache : cache) off : gkey = (cache.c_id, off)
 
 let find pvm cache ~off =
-  charge pvm pvm.cost.t_map_lookup;
+  charge pvm Hw.Cost.Map_lookup;
   Hashtbl.find_opt pvm.gmap (key cache off)
 
 (* Lookup without charging the simulated clock, for internal
@@ -34,7 +34,7 @@ let rec wait_not_in_transit pvm cache ~off =
    pushed out; any future access to the page sleeps until [finish] is
    called (paper §4.1.2). *)
 let insert_sync_stub pvm cache ~off =
-  charge pvm pvm.cost.t_stub_insert;
+  charge pvm Hw.Cost.Stub_insert;
   let cond = Hw.Engine.Cond.create () in
   set pvm cache ~off (Sync_stub cond);
   cond

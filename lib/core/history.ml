@@ -64,11 +64,11 @@ let store_original pvm ~(src_page : page) ~(h : cache) ~h_off =
         src_page.p_wire_count <- src_page.p_wire_count - 1)
       (fun () ->
         let frame = Pager.alloc_frame pvm in
-        charge pvm pvm.cost.t_bcopy_page;
+        charge pvm Hw.Cost.Bcopy_page;
         Hw.Phys_mem.bcopy ~src:src_page.p_frame ~dst:frame;
         frame)
   in
-  charge pvm pvm.cost.t_stub_insert;
+  charge pvm Hw.Cost.Stub_insert;
   let page =
     Install.insert_page pvm h ~off:h_off frame ~pulled_prot:Hw.Prot.all
       ~cow_protected:(is_covered h ~off:h_off)
@@ -108,6 +108,10 @@ let insert_working_cache pvm (src : cache) =
     };
   src.c_history <- Some w;
   pvm.stats.n_history_created <- pvm.stats.n_history_created + 1;
+  let tr = Hw.Engine.tracer pvm.engine in
+  if Obs.Trace.enabled tr then
+    Obs.Trace.instant tr ~cat:"vm" "history-create"
+      ~args:[ ("src", Int src.c_id); ("working", Int w.c_id) ];
   w
 
 (* Read-protect the source's resident pages over the copied range.
@@ -126,8 +130,22 @@ let protect_source_range pvm (src : cache) ~off ~size =
    read-protects the source. *)
 let record_copy pvm ~(src : cache) ~src_off ~(dst : cache) ~dst_off ~size
     ~policy =
-  charge pvm pvm.cost.t_tree_setup;
-  charge pvm pvm.cost.t_copy_setup;
+  charge pvm Hw.Cost.Tree_setup;
+  charge pvm Hw.Cost.Copy_setup;
+  let tr = Hw.Engine.tracer pvm.engine in
+  if Obs.Trace.enabled tr then
+    Obs.Trace.instant tr ~cat:"vm" "deferred-copy"
+      ~args:
+        [
+          ("src", Int src.c_id);
+          ("dst", Int dst.c_id);
+          ("size", Int size);
+          ( "policy",
+            Str
+              (match policy with
+              | `Copy_on_write -> "copy-on-write"
+              | `Copy_on_reference -> "copy-on-reference") );
+        ];
   let parent =
     match src.c_history with
     | None when src_off = dst_off ->

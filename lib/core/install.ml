@@ -10,7 +10,7 @@ open Types
 (* Raw local-cache constructor; the public entry point is
    [Cache.create], working caches are made by [History]. *)
 let new_cache pvm ?backing ~anonymous ~is_history () =
-  charge pvm pvm.cost.t_cache_create;
+  charge pvm Hw.Cost.Cache_create;
   let cache =
     {
       c_id = next_id pvm;
@@ -97,7 +97,7 @@ let remove_page pvm (page : page) ~free_frame =
   pvm.reclaim <- List.filter (fun p -> not (p == page)) pvm.reclaim;
   page.p_alive <- false;
   if free_frame then begin
-    charge pvm pvm.cost.t_frame_free;
+    charge pvm Hw.Cost.Frame_free;
     Hw.Phys_mem.free pvm.mem page.p_frame
   end
 

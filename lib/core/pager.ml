@@ -11,6 +11,22 @@
 
 open Types
 
+(* One trace span around a pager upcall/eviction, closed on the way
+   out even when the segment fails. *)
+let spanned pvm ~name ~args body =
+  let tr = Hw.Engine.tracer pvm.engine in
+  if not (Obs.Trace.enabled tr) then body ()
+  else begin
+    Obs.Trace.span_begin tr ~cat:"pager" name;
+    match body () with
+    | v ->
+      Obs.Trace.span_end tr ~args;
+      v
+    | exception e ->
+      Obs.Trace.span_end tr ~args:(("ok", Obs.Trace.Str "false") :: args);
+      raise e
+  end
+
 (* Give an anonymous cache a backing via the segmentCreate hook, if
    the upper layer installed one. *)
 let ensure_backing pvm (cache : cache) =
@@ -56,6 +72,14 @@ let push_out pvm (page : page) =
   | Some backing ->
     let cache = page.p_cache and off = page.p_offset in
     pvm.stats.n_push_outs <- pvm.stats.n_push_outs + 1;
+    spanned pvm ~name:"pushOut"
+      ~args:
+        [
+          ("segment", Str backing.Gmi.b_name);
+          ("cache", Int cache.c_id);
+          ("off", Int off);
+        ]
+    @@ fun () ->
     let cond = Global_map.insert_sync_stub pvm cache ~off in
     let copy_back ~offset ~size =
       assert (offset >= off && offset + size <= off + page_size pvm);
@@ -83,6 +107,14 @@ let evict pvm (page : page) =
   pvm.stats.n_evictions <- pvm.stats.n_evictions + 1;
   retarget_stubs pvm page;
   let cache = page.p_cache and off = page.p_offset in
+  spanned pvm ~name:"evict"
+    ~args:
+      [
+        ("cache", Int cache.c_id);
+        ("off", Int off);
+        ("dirty", Str (if page.p_dirty then "true" else "false"));
+      ]
+  @@ fun () ->
   if page.p_dirty then begin
     match ensure_backing pvm cache with
     | None -> invalid_arg "Pager.evict: dirty page with no backing"
@@ -132,7 +164,7 @@ let start_daemon pvm ~low_water ~high_water ~period =
 (* Allocate a frame, reclaiming FIFO victims when physical memory is
    exhausted. *)
 let alloc_frame pvm =
-  charge pvm pvm.cost.t_frame_alloc;
+  charge pvm Hw.Cost.Frame_alloc;
   let rec go () =
     match Hw.Phys_mem.alloc_opt pvm.mem with
     | Some frame -> frame

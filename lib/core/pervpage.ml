@@ -49,7 +49,7 @@ let setup_copy pvm ~(src : cache) ~src_off ~(dst : cache) ~dst_off ~size =
     | Some (Sync_stub _) -> assert false
     | None ->
       Install.add_pending_stub pvm ~src_cache:src ~src_off:s_off stub);
-    charge pvm pvm.cost.t_stub_insert;
+    charge pvm Hw.Cost.Stub_insert;
     Global_map.set pvm dst ~off:d_off (Cow_stub stub)
   done
 
@@ -86,7 +86,7 @@ let materialize pvm (stub : cow_stub) =
   let copy_from (sp : page) =
     with_wired sp (fun () ->
         let frame = Pager.alloc_frame pvm in
-        charge pvm pvm.cost.t_bcopy_page;
+        charge pvm Hw.Cost.Bcopy_page;
         Hw.Phys_mem.bcopy ~src:sp.p_frame ~dst:frame;
         pvm.stats.n_cow_copies <- pvm.stats.n_cow_copies + 1;
         frame)
@@ -99,7 +99,7 @@ let materialize pvm (stub : cow_stub) =
       | `Page p -> copy_from p
       | `Zero ->
         let frame = Pager.alloc_frame pvm in
-        charge pvm pvm.cost.t_bzero_page;
+        charge pvm Hw.Cost.Bzero_page;
         Hw.Phys_mem.bzero frame;
         pvm.stats.n_zero_fills <- pvm.stats.n_zero_fills + 1;
         frame)

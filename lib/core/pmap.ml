@@ -50,7 +50,7 @@ let enter pvm (page : page) (region : region) ~vpn =
     | None -> ())
   | Some _ | None -> ());
   let prot = effective_prot page region in
-  charge pvm pvm.cost.t_mmu_map;
+  charge pvm Hw.Cost.Mmu_map;
   Hw.Mmu.map region.r_context.ctx_space ~vpn page.p_frame prot;
   if
     not
@@ -70,7 +70,7 @@ let drop_mapping (page : page) (region : region) ~vpn =
 let refresh_prot pvm (page : page) =
   List.iter
     (fun ((region : region), vpn) ->
-      charge pvm pvm.cost.t_mmu_protect;
+      charge pvm Hw.Cost.Mmu_protect;
       Hw.Mmu.protect region.r_context.ctx_space ~vpn
         (effective_prot page region))
     page.p_mappings
@@ -81,7 +81,7 @@ let refresh_prot pvm (page : page) =
 let cow_protect pvm (page : page) =
   if not page.p_cow_protected then begin
     page.p_cow_protected <- true;
-    charge pvm pvm.cost.t_mmu_protect;
+    charge pvm Hw.Cost.Mmu_protect;
     List.iter
       (fun ((region : region), vpn) ->
         Hw.Mmu.protect region.r_context.ctx_space ~vpn
@@ -98,13 +98,13 @@ let cow_release pvm (page : page) =
   let borrowed, own = List.partition (fun (r, _) -> is_borrowed page r) page.p_mappings in
   List.iter
     (fun ((region : region), vpn) ->
-      charge pvm pvm.cost.t_mmu_protect;
+      charge pvm Hw.Cost.Mmu_protect;
       Hw.Mmu.unmap region.r_context.ctx_space ~vpn)
     borrowed;
   page.p_mappings <- own;
   List.iter
     (fun ((region : region), vpn) ->
-      charge pvm pvm.cost.t_mmu_protect;
+      charge pvm Hw.Cost.Mmu_protect;
       Hw.Mmu.protect region.r_context.ctx_space ~vpn
         (effective_prot page region))
     own
@@ -114,7 +114,7 @@ let cow_release pvm (page : page) =
 let unmap_all pvm (page : page) =
   List.iter
     (fun ((region : region), vpn) ->
-      charge pvm pvm.cost.t_mmu_protect;
+      charge pvm Hw.Cost.Mmu_protect;
       if region.r_alive && region.r_context.ctx_alive then
         Hw.Mmu.unmap region.r_context.ctx_space ~vpn)
     page.p_mappings;

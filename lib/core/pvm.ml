@@ -24,6 +24,7 @@ let create ?(page_size = 8192) ?(cost = Hw.Cost.chorus_sun360) ~frames ~engine
     segment_create_hook = None;
     zombie_reaper = None;
     stats = fresh_stats ();
+    obs = Obs.Metrics.create ~prims:Hw.Cost.prim_names ();
   }
   |> Cache.install_reaper
 
@@ -32,6 +33,27 @@ let memory pvm = pvm.mem
 let cost pvm = pvm.cost
 let page_size = Types.page_size
 let stats pvm = pvm.stats
+let tracer pvm = Hw.Engine.tracer pvm.engine
+let charge_prim = Types.charge
+
+(* Publish the legacy stats counters into the registry before handing
+   it out, so one report carries everything: the registry subsumes
+   [Types.stats] rather than replacing it. *)
+let metrics pvm =
+  let s = pvm.stats and m = pvm.obs in
+  let set name v = Obs.Metrics.set (Obs.Metrics.counter m name) v in
+  set "pvm.faults" s.n_faults;
+  set "pvm.zero_fills" s.n_zero_fills;
+  set "pvm.cow_copies" s.n_cow_copies;
+  set "pvm.pull_ins" s.n_pull_ins;
+  set "pvm.push_outs" s.n_push_outs;
+  set "pvm.evictions" s.n_evictions;
+  set "pvm.tree_lookups" s.n_tree_lookups;
+  set "pvm.history_created" s.n_history_created;
+  set "pvm.stub_resolves" s.n_stub_resolves;
+  set "pvm.eager_pages" s.n_eager_pages;
+  set "pvm.moved_pages" s.n_moved_pages;
+  m
 
 let reset_stats pvm =
   let s = pvm.stats and z = fresh_stats () in

@@ -48,6 +48,23 @@ val cost : t -> Hw.Cost.profile
 val stats : t -> Types.stats
 val reset_stats : t -> unit
 
+val metrics : t -> Obs.Metrics.t
+(** This instance's always-on metrics registry: fault-latency
+    histograms by resolution kind ("fault.zero-fill", "fault.pull-in",
+    ...), the per-primitive sim-time attribution table (§5.3.2
+    decomposition) and — published on each call, so the registry
+    subsumes them — the legacy {!Types.stats} counters under
+    "pvm.*". *)
+
+val tracer : t -> Obs.Trace.t
+(** The tracing sink of this instance's engine ({!Hw.Engine.tracer});
+    {!Obs.Trace.null} unless one was attached. *)
+
+val charge_prim : t -> Hw.Cost.prim -> unit
+(** Charge one primitive at this instance's calibrated cost, with
+    metrics and trace attribution — for managers layered above the
+    PVM (IPC, segment managers) that pay GMI-level costs. *)
+
 val set_segment_create_hook : t -> (cache -> Gmi.backing option) -> unit
 (** Install the [segmentCreate] upcall (Table 3): consulted when an
     anonymous cache needs a backing to page out to. *)

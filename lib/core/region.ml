@@ -28,7 +28,7 @@ let create pvm (ctx : context) ~addr ~size ~prot (cache : cache) ~offset =
      && is_page_aligned pvm offset)
   then invalid_arg "regionCreate: unaligned address, size or offset";
   if overlaps ctx ~addr ~size then invalid_arg "regionCreate: regions overlap";
-  charge pvm pvm.cost.t_region_create;
+  charge pvm Hw.Cost.Region_create;
   let region =
     {
       r_id = next_id pvm;
@@ -64,7 +64,7 @@ let split pvm (region : region) ~offset =
   if not (is_page_aligned pvm offset) then invalid_arg "split: unaligned";
   if offset <= 0 || offset >= region.r_size then
     invalid_arg "split: offset outside region";
-  charge pvm pvm.cost.t_region_create;
+  charge pvm Hw.Cost.Region_create;
   let right =
     {
       r_id = next_id pvm;
@@ -105,7 +105,7 @@ let set_protection pvm (region : region) prot =
       match mapped_page_at pvm region ~vpn with
       | None -> ()
       | Some page ->
-        charge pvm pvm.cost.t_mmu_protect;
+        charge pvm Hw.Cost.Mmu_protect;
         Hw.Mmu.protect region.r_context.ctx_space ~vpn
           (Pmap.effective_prot page region))
     (vpns_of pvm region)
@@ -160,9 +160,9 @@ let status (region : region) =
 let destroy pvm (region : region) =
   check_region_alive region;
   if region.r_locked then unlock pvm region;
-  charge pvm pvm.cost.t_region_destroy;
+  charge pvm Hw.Cost.Region_destroy;
   let ps = page_size pvm in
-  charge pvm (pvm.cost.t_invalidate_page * (region.r_size / ps));
+  charge_span pvm Hw.Cost.Invalidate_page (pvm.cost.t_invalidate_page * (region.r_size / ps));
   List.iter
     (fun vpn ->
       match mapped_page_at pvm region ~vpn with

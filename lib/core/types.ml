@@ -31,6 +31,9 @@ type pvm = {
          — is gone.  A hook because stub death (Pervpage) sits below
          cache teardown in the module graph. *)
   stats : stats;
+  obs : Obs.Metrics.t;
+      (* always-on aggregates: fault-latency histograms by resolution
+         kind and the per-primitive sim-time attribution table *)
 }
 
 and gkey = int * int (* cache id, byte offset of page start *)
@@ -151,7 +154,19 @@ let next_id pvm =
   id
 
 let page_size pvm = Hw.Phys_mem.page_size pvm.mem
-let charge (_pvm : pvm) span = if span > 0 then Hw.Cost.charge span
+
+(* Charge [span] of simulated time attributed to [prim]: the
+   per-primitive table of the metrics registry always accumulates it
+   (integer adds, no clock effect), and an enabled tracer additionally
+   records a cost event.  [charge_span] is for call sites that scale a
+   primitive's cost themselves (e.g. a partial-page bcopy). *)
+let charge_span pvm prim span =
+  if span > 0 then begin
+    Obs.Metrics.charge pvm.obs ~idx:(Hw.Cost.prim_index prim) ~ns:span;
+    Hw.Cost.charge_traced ~tracer:(Hw.Engine.tracer pvm.engine) ~prim span
+  end
+
+let charge pvm prim = charge_span pvm prim (Hw.Cost.span_of pvm.cost prim)
 
 let page_align_down pvm off = off - (off mod page_size pvm)
 

@@ -23,7 +23,7 @@ let rec locate pvm (cache : cache) ~off : located =
     match s.cs_source with
     | Src_page p -> `Page p
     | Src_cache (c, o) ->
-      charge pvm pvm.cost.t_tree_lookup;
+      charge pvm Hw.Cost.Tree_lookup;
       locate pvm c ~off:o)
   | Some (Sync_stub _) -> assert false (* wait_not_in_transit excludes it *)
   | None ->
@@ -31,7 +31,7 @@ let rec locate pvm (cache : cache) ~off : located =
     else (
       match Parents.find_covering cache ~off with
       | Some f ->
-        charge pvm pvm.cost.t_tree_lookup;
+        charge pvm Hw.Cost.Tree_lookup;
         pvm.stats.n_tree_lookups <- pvm.stats.n_tree_lookups + 1;
         locate pvm f.f_parent ~off:(off - f.f_off + f.f_parent_off)
       | None ->
@@ -74,7 +74,7 @@ let deliver pvm (cache : cache) ~offset (bytes : Bytes.t) ~prot ~dirty =
       in
       page.p_dirty <- dirty
     | Some (Resident p) ->
-      charge pvm pvm.cost.t_bcopy_page;
+      charge pvm Hw.Cost.Bcopy_page;
       Hw.Phys_mem.write p.p_frame ~off:0 (chunk ());
       p.p_dirty <- dirty;
       Pmap.refresh_prot pvm p
@@ -94,36 +94,59 @@ let pull_in_page pvm (cache : cache) ~off ~prot =
   | None -> invalid_arg "pullIn: cache has no backing"
   | Some b ->
     pvm.stats.n_pull_ins <- pvm.stats.n_pull_ins + 1;
-    let cond = Global_map.insert_sync_stub pvm cache ~off in
-    let fill_up ~offset bytes =
-      deliver pvm cache ~offset bytes ~prot ~dirty:false
+    let tr = Hw.Engine.tracer pvm.engine in
+    let traced = Obs.Trace.enabled tr in
+    if traced then Obs.Trace.span_begin tr ~cat:"pager" "pullIn";
+    let close ok =
+      if traced then
+        Obs.Trace.span_end tr
+          ~args:
+            [
+              ("segment", Str b.Gmi.b_name);
+              ("cache", Int cache.c_id);
+              ("off", Int off);
+              ("ok", Str (if ok then "true" else "false"));
+            ]
     in
-    (* A failing mapper must not leave the synchronization stub
-       behind: waiters would sleep forever.  Remove it and wake them
-       so they retry (and fail in turn if the segment stays broken). *)
-    (try b.b_pull_in ~offset:off ~size:(page_size pvm) ~prot ~fill_up
-     with e ->
-       (match Global_map.peek pvm cache ~off with
-       | Some (Sync_stub c) when c == cond ->
-         Global_map.finish_sync_stub pvm cache ~off cond None
-       | _ -> ());
-       raise e);
-    (match Global_map.peek pvm cache ~off with
-    | Some (Resident p) -> p
-    | Some (Sync_stub c) when c == cond ->
-      Global_map.finish_sync_stub pvm cache ~off cond None;
-      failwith
-        (Printf.sprintf "GMI: segment '%s' pullIn did not provide offset %d"
-           b.b_name off)
-    | _ ->
-      failwith
-        (Printf.sprintf "GMI: segment '%s' pullIn did not provide offset %d"
-           b.b_name off))
+    let go () =
+      let cond = Global_map.insert_sync_stub pvm cache ~off in
+      let fill_up ~offset bytes =
+        deliver pvm cache ~offset bytes ~prot ~dirty:false
+      in
+      (* A failing mapper must not leave the synchronization stub
+         behind: waiters would sleep forever.  Remove it and wake them
+         so they retry (and fail in turn if the segment stays broken). *)
+      (try b.b_pull_in ~offset:off ~size:(page_size pvm) ~prot ~fill_up
+       with e ->
+         (match Global_map.peek pvm cache ~off with
+         | Some (Sync_stub c) when c == cond ->
+           Global_map.finish_sync_stub pvm cache ~off cond None
+         | _ -> ());
+         raise e);
+      match Global_map.peek pvm cache ~off with
+      | Some (Resident p) -> p
+      | Some (Sync_stub c) when c == cond ->
+        Global_map.finish_sync_stub pvm cache ~off cond None;
+        failwith
+          (Printf.sprintf "GMI: segment '%s' pullIn did not provide offset %d"
+             b.b_name off)
+      | _ ->
+        failwith
+          (Printf.sprintf "GMI: segment '%s' pullIn did not provide offset %d"
+             b.b_name off)
+    in
+    (match go () with
+    | p ->
+      close true;
+      p
+    | exception e ->
+      close false;
+      raise e)
 
 (* Allocate a zero-filled page owned by [cache]. *)
 let zero_fill_page pvm (cache : cache) ~off =
   let frame = Pager.alloc_frame pvm in
-  charge pvm pvm.cost.t_bzero_page;
+  charge pvm Hw.Cost.Bzero_page;
   Hw.Phys_mem.bzero frame;
   pvm.stats.n_zero_fills <- pvm.stats.n_zero_fills + 1;
   Install.insert_page pvm cache ~off frame ~pulled_prot:Hw.Prot.all

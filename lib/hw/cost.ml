@@ -111,4 +111,101 @@ let free =
     t_ipc_fixed = 0;
   }
 
+(* The primitives as first-class values, so charges can be attributed
+   (per-primitive counters, trace events) and not just slept away. *)
+type prim =
+  | Bzero_page
+  | Bcopy_page
+  | Region_create
+  | Region_destroy
+  | Invalidate_page
+  | Fault_dispatch
+  | Map_lookup
+  | Frame_alloc
+  | Frame_free
+  | Mmu_map
+  | Mmu_protect
+  | Tree_setup
+  | Tree_lookup
+  | Stub_insert
+  | Copy_setup
+  | Cache_create
+  | Ipc_fixed
+
+let all_prims =
+  [
+    Bzero_page; Bcopy_page; Region_create; Region_destroy; Invalidate_page;
+    Fault_dispatch; Map_lookup; Frame_alloc; Frame_free; Mmu_map; Mmu_protect;
+    Tree_setup; Tree_lookup; Stub_insert; Copy_setup; Cache_create; Ipc_fixed;
+  ]
+
+let prim_index = function
+  | Bzero_page -> 0
+  | Bcopy_page -> 1
+  | Region_create -> 2
+  | Region_destroy -> 3
+  | Invalidate_page -> 4
+  | Fault_dispatch -> 5
+  | Map_lookup -> 6
+  | Frame_alloc -> 7
+  | Frame_free -> 8
+  | Mmu_map -> 9
+  | Mmu_protect -> 10
+  | Tree_setup -> 11
+  | Tree_lookup -> 12
+  | Stub_insert -> 13
+  | Copy_setup -> 14
+  | Cache_create -> 15
+  | Ipc_fixed -> 16
+
+let prim_name = function
+  | Bzero_page -> "bzero_page"
+  | Bcopy_page -> "bcopy_page"
+  | Region_create -> "region_create"
+  | Region_destroy -> "region_destroy"
+  | Invalidate_page -> "invalidate_page"
+  | Fault_dispatch -> "fault_dispatch"
+  | Map_lookup -> "map_lookup"
+  | Frame_alloc -> "frame_alloc"
+  | Frame_free -> "frame_free"
+  | Mmu_map -> "mmu_map"
+  | Mmu_protect -> "mmu_protect"
+  | Tree_setup -> "tree_setup"
+  | Tree_lookup -> "tree_lookup"
+  | Stub_insert -> "stub_insert"
+  | Copy_setup -> "copy_setup"
+  | Cache_create -> "cache_create"
+  | Ipc_fixed -> "ipc_fixed"
+
+let prim_names = Array.of_list (List.map prim_name all_prims)
+
+let span_of p = function
+  | Bzero_page -> p.t_bzero_page
+  | Bcopy_page -> p.t_bcopy_page
+  | Region_create -> p.t_region_create
+  | Region_destroy -> p.t_region_destroy
+  | Invalidate_page -> p.t_invalidate_page
+  | Fault_dispatch -> p.t_fault_dispatch
+  | Map_lookup -> p.t_map_lookup
+  | Frame_alloc -> p.t_frame_alloc
+  | Frame_free -> p.t_frame_free
+  | Mmu_map -> p.t_mmu_map
+  | Mmu_protect -> p.t_mmu_protect
+  | Tree_setup -> p.t_tree_setup
+  | Tree_lookup -> p.t_tree_lookup
+  | Stub_insert -> p.t_stub_insert
+  | Copy_setup -> p.t_copy_setup
+  | Cache_create -> p.t_cache_create
+  | Ipc_fixed -> p.t_ipc_fixed
+
 let charge span = if span > 0 then Engine.sleep span
+
+(* Attributed variant of [charge]: the trace event is recorded at the
+   instant the charge begins, before the clock advances, so a span
+   enclosing several charges shows them at their start offsets. *)
+let charge_traced ~tracer ~prim span =
+  if span > 0 then begin
+    if Obs.Trace.enabled tracer then
+      Obs.Trace.charge tracer ~prim:(prim_name prim) ~span;
+    Engine.sleep span
+  end

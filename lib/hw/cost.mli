@@ -49,6 +49,49 @@ val mach_sun360 : profile
 val free : profile
 (** All primitives cost zero; for functional tests. *)
 
+(** The hardware-level primitives, as first-class values: each names
+    one [t_*] slot of {!profile}, so that a charge can be attributed —
+    to the per-primitive table of an {!Obs.Metrics.t} registry and to
+    trace events — rather than silently slept away.  This is what lets
+    §5.3.2-style cost decompositions fall out of a trace. *)
+type prim =
+  | Bzero_page
+  | Bcopy_page
+  | Region_create
+  | Region_destroy
+  | Invalidate_page
+  | Fault_dispatch
+  | Map_lookup
+  | Frame_alloc
+  | Frame_free
+  | Mmu_map
+  | Mmu_protect
+  | Tree_setup
+  | Tree_lookup
+  | Stub_insert
+  | Copy_setup
+  | Cache_create
+  | Ipc_fixed
+
+val all_prims : prim list
+
+val prim_index : prim -> int
+(** Dense index of the primitive, in [all_prims] order. *)
+
+val prim_name : prim -> string
+
+val prim_names : string array
+(** All primitive names, indexed by {!prim_index} — the slot table to
+    pass to {!Obs.Metrics.create}. *)
+
+val span_of : profile -> prim -> Sim_time.span
+(** The calibrated cost of one primitive under a profile. *)
+
 val charge : Sim_time.span -> unit
 (** [charge span] advances the current fibre's simulated clock.  Must
     run inside {!Engine.run}. *)
+
+val charge_traced : tracer:Obs.Trace.t -> prim:prim -> Sim_time.span -> unit
+(** Like {!charge}, but when [tracer] is enabled also records a
+    per-primitive cost event at the instant the charge begins.  With a
+    disabled tracer this is exactly {!charge}. *)

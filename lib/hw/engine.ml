@@ -2,6 +2,7 @@ type task = {
   time : Sim_time.t;
   seq : int;
   daemon : bool;
+  fib : int;
   run : unit -> unit;
 }
 
@@ -11,6 +12,9 @@ type t = {
   queue : task Pqueue.t;
   mutable live : int; (* non-daemon fibres spawned and not yet finished *)
   mutable live_tasks : int; (* non-daemon tasks waiting in the queue *)
+  mutable cur_fib : int; (* fibre the running task belongs to *)
+  mutable next_fib : int;
+  mutable tracer : Obs.Trace.t;
 }
 
 exception Deadlock of int
@@ -30,15 +34,25 @@ let create () =
     queue = Pqueue.create ~cmp:cmp_task;
     live = 0;
     live_tasks = 0;
+    cur_fib = 0;
+    next_fib = 1;
+    tracer = Obs.Trace.null;
   }
 
 let now eng = eng.now
+let current_fibre eng = eng.cur_fib
+let tracer eng = eng.tracer
 
-let schedule eng ~daemon time run =
+let set_tracer eng tr =
+  eng.tracer <- tr;
+  Obs.Trace.set_clock tr (fun () -> eng.now);
+  Obs.Trace.set_fibre tr (fun () -> eng.cur_fib)
+
+let schedule eng ~daemon ~fib time run =
   let seq = eng.seq in
   eng.seq <- seq + 1;
   if not daemon then eng.live_tasks <- eng.live_tasks + 1;
-  Pqueue.push eng.queue { time; seq; daemon; run }
+  Pqueue.push eng.queue { time; seq; daemon; fib; run }
 
 let sleep span =
   if span < 0 then invalid_arg "Engine.sleep: negative span";
@@ -50,7 +64,8 @@ let suspend register = Effect.perform (Suspend register)
    installed for the whole fibre, so a continuation resumed later from
    the event queue still sees Sleep/Suspend.  Continuations of a
    daemon fibre schedule daemon tasks: the simulation ends when only
-   daemon work remains. *)
+   daemon work remains.  Handlers run at perform time, so [cur_fib] is
+   the performing fibre; continuations keep that id. *)
 let exec eng ~daemon f =
   let finished () = if not daemon then eng.live <- eng.live - 1 in
   Effect.Deep.match_with f ()
@@ -63,23 +78,30 @@ let exec eng ~daemon f =
           | Sleep span ->
             Some
               (fun (k : (a, _) Effect.Deep.continuation) ->
-                schedule eng ~daemon (eng.now + span) (fun () ->
+                let fib = eng.cur_fib in
+                schedule eng ~daemon ~fib (eng.now + span) (fun () ->
                     Effect.Deep.continue k ()))
           | Suspend register ->
             Some
               (fun (k : (a, _) Effect.Deep.continuation) ->
+                let fib = eng.cur_fib in
                 let resumed = ref false in
                 register (fun () ->
                     if !resumed then invalid_arg "Engine: resume called twice";
                     resumed := true;
-                    schedule eng ~daemon eng.now (fun () ->
+                    schedule eng ~daemon ~fib eng.now (fun () ->
                         Effect.Deep.continue k ())))
           | _ -> None);
     }
 
-let spawn eng ?name:_ ?(daemon = false) f =
+let spawn eng ?name ?(daemon = false) f =
   if not daemon then eng.live <- eng.live + 1;
-  schedule eng ~daemon eng.now (fun () -> exec eng ~daemon f)
+  let fib = eng.next_fib in
+  eng.next_fib <- fib + 1;
+  (match name with
+  | Some n -> Obs.Trace.name_fibre eng.tracer fib n
+  | None -> ());
+  schedule eng ~daemon ~fib eng.now (fun () -> exec eng ~daemon f)
 
 let run eng main =
   spawn eng main;
@@ -96,6 +118,7 @@ let run eng main =
       let task = Pqueue.pop eng.queue in
       assert (task.time >= eng.now);
       eng.now <- task.time;
+      eng.cur_fib <- task.fib;
       if not task.daemon then eng.live_tasks <- eng.live_tasks - 1;
       task.run ();
       loop ()

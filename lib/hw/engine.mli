@@ -21,6 +21,21 @@ val create : unit -> t
 val now : t -> Sim_time.t
 (** Current simulated time. *)
 
+val current_fibre : t -> int
+(** Id of the fibre whose task is currently running (0 outside
+    {!run}).  Ids are allocated by {!spawn}, starting at 1; traces use
+    them as Chrome thread ids. *)
+
+val tracer : t -> Obs.Trace.t
+(** The tracing sink attached to this engine; {!Obs.Trace.null} — a
+    never-enabled sink — unless {!set_tracer} was called, so
+    instrumentation can check [Obs.Trace.enabled (tracer eng)] and
+    short-circuit at zero cost. *)
+
+val set_tracer : t -> Obs.Trace.t -> unit
+(** Attach a tracing sink, wiring its clock to this engine's simulated
+    time and its fibre source to {!current_fibre}. *)
+
 val spawn : t -> ?name:string -> ?daemon:bool -> (unit -> unit) -> unit
 (** [spawn eng f] schedules fibre [f] to start at the current
     simulated time.  Usable both from inside and outside fibres.

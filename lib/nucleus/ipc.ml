@@ -19,10 +19,28 @@ let check_len len =
   if len > Transit.slot_size then raise (Message_too_big len);
   if len < 0 then invalid_arg "Ipc: negative length"
 
+(* One trace span around an IPC operation, closed even if the message
+   copy fails. *)
+let spanned pvm ~name ~len body =
+  let tr = Core.Pvm.tracer pvm in
+  if not (Obs.Trace.enabled tr) then body ()
+  else begin
+    Obs.Trace.span_begin tr ~cat:"ipc" name;
+    match body () with
+    | v ->
+      Obs.Trace.span_end tr ~args:[ ("len", Obs.Trace.Int len) ];
+      v
+    | exception e ->
+      Obs.Trace.span_end tr
+        ~args:[ ("len", Obs.Trace.Int len); ("ok", Obs.Trace.Str "false") ];
+      raise e
+  end
+
 let send (a : Actor.t) transit ~dst ~addr ~len =
   check_len len;
   let site = a.Actor.a_site in
-  Hw.Cost.charge (Core.Pvm.cost site.pvm).Hw.Cost.t_ipc_fixed;
+  spanned site.pvm ~name:"ipc.send" ~len @@ fun () ->
+  Core.Pvm.charge_prim site.pvm Hw.Cost.Ipc_fixed;
   let slot = Transit.alloc transit in
   let src, src_off = window a ~addr ~len in
   Core.Cache.copy site.pvm ~src ~src_off ~dst:(Transit.cache transit)
@@ -33,6 +51,7 @@ let send (a : Actor.t) transit ~dst ~addr ~len =
 let send_bytes (site : Site.t) transit ~dst payload =
   let len = Bytes.length payload in
   check_len len;
+  spanned site.pvm ~name:"ipc.send" ~len @@ fun () ->
   let slot = Transit.alloc transit in
   let ps = Core.Pvm.page_size site.pvm in
   let padded = (len + ps - 1) / ps * ps in
@@ -46,6 +65,7 @@ let send_bytes (site : Site.t) transit ~dst payload =
 let receive (a : Actor.t) transit endpoint ~addr =
   let site = a.Actor.a_site in
   let msg = Port.receive endpoint in
+  spanned site.pvm ~name:"ipc.receive" ~len:msg.msg_len @@ fun () ->
   let dst, dst_off = window a ~addr ~len:msg.msg_len in
   Core.Cache.move site.pvm
     ~src:(Transit.cache transit)
@@ -56,6 +76,7 @@ let receive (a : Actor.t) transit endpoint ~addr =
 
 let receive_bytes (site : Site.t) transit endpoint =
   let msg = Port.receive endpoint in
+  spanned site.pvm ~name:"ipc.receive" ~len:msg.msg_len @@ fun () ->
   let data =
     Core.Cache.copy_back site.pvm (Transit.cache transit)
       ~offset:(Transit.slot_offset transit msg.msg_slot)

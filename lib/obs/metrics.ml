@@ -1,0 +1,185 @@
+(* Aggregated observability: counters, sim-time histograms and the
+   per-primitive attribution table.  Updates are plain integer
+   arithmetic — cheap enough to stay always-on — and never advance the
+   simulated clock. *)
+
+type counter = { c_name : string; mutable c_value : int }
+
+type histogram = {
+  h_name : string;
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+}
+
+type hstats = { count : int; sum : int; min : int; max : int }
+
+type t = {
+  cs : (string, counter) Hashtbl.t;
+  hs : (string, histogram) Hashtbl.t;
+  prim_names : string array;
+  prim_count : int array;
+  prim_ns : int array;
+}
+
+let create ?(prims = [||]) () =
+  {
+    cs = Hashtbl.create 32;
+    hs = Hashtbl.create 32;
+    prim_names = prims;
+    prim_count = Array.make (Array.length prims) 0;
+    prim_ns = Array.make (Array.length prims) 0;
+  }
+
+let reset t =
+  Hashtbl.reset t.cs;
+  Hashtbl.reset t.hs;
+  Array.fill t.prim_count 0 (Array.length t.prim_count) 0;
+  Array.fill t.prim_ns 0 (Array.length t.prim_ns) 0
+
+let counter t name =
+  match Hashtbl.find_opt t.cs name with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; c_value = 0 } in
+    Hashtbl.replace t.cs name c;
+    c
+
+let incr ?(by = 1) c = c.c_value <- c.c_value + by
+let set c v = c.c_value <- v
+let value c = c.c_value
+
+let counters t =
+  Hashtbl.fold (fun _ c acc -> (c.c_name, c.c_value) :: acc) t.cs []
+  |> List.sort compare
+
+let histogram t name =
+  match Hashtbl.find_opt t.hs name with
+  | Some h -> h
+  | None ->
+    let h =
+      { h_name = name; h_count = 0; h_sum = 0; h_min = max_int; h_max = 0 }
+    in
+    Hashtbl.replace t.hs name h;
+    h
+
+let observe h ns =
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum + ns;
+  if ns < h.h_min then h.h_min <- ns;
+  if ns > h.h_max then h.h_max <- ns
+
+let histogram_stats h =
+  {
+    count = h.h_count;
+    sum = h.h_sum;
+    min = (if h.h_count = 0 then 0 else h.h_min);
+    max = h.h_max;
+  }
+
+let histograms t =
+  Hashtbl.fold (fun _ h acc -> (h.h_name, histogram_stats h) :: acc) t.hs []
+  |> List.sort compare
+
+let charge t ~idx ~ns =
+  if idx >= 0 && idx < Array.length t.prim_count then begin
+    t.prim_count.(idx) <- t.prim_count.(idx) + 1;
+    t.prim_ns.(idx) <- t.prim_ns.(idx) + ns
+  end
+
+let prim_report t =
+  Array.to_list
+    (Array.mapi
+       (fun i name -> (name, t.prim_count.(i), t.prim_ns.(i)))
+       t.prim_names)
+
+(* --- Reporting ---------------------------------------------------- *)
+
+let json_escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let to_json t =
+  let buf = Buffer.create 4096 in
+  let key k =
+    Buffer.add_char buf '"';
+    json_escape buf k;
+    Buffer.add_string buf "\":"
+  in
+  Buffer.add_string buf "{\"counters\":{";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      key name;
+      Buffer.add_string buf (string_of_int v))
+    (counters t);
+  Buffer.add_string buf "},\"histograms\":{";
+  List.iteri
+    (fun i (name, s) ->
+      if i > 0 then Buffer.add_char buf ',';
+      key name;
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"count\":%d,\"sum_ns\":%d,\"min_ns\":%d,\"max_ns\":%d}" s.count
+           s.sum s.min s.max))
+    (histograms t);
+  Buffer.add_string buf "},\"primitives\":{";
+  let first = ref true in
+  List.iter
+    (fun (name, count, ns) ->
+      if count > 0 then begin
+        if !first then first := false else Buffer.add_char buf ',';
+        key name;
+        Buffer.add_string buf
+          (Printf.sprintf "{\"count\":%d,\"total_ns\":%d}" count ns)
+      end)
+    (prim_report t);
+  Buffer.add_string buf "}}";
+  Buffer.contents buf
+
+let ms ns = float_of_int ns /. 1e6
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  (match counters t with
+  | [] -> ()
+  | cs ->
+    Format.fprintf ppf "counters:@,";
+    List.iter (fun (name, v) -> Format.fprintf ppf "  %-28s %10d@," name v) cs);
+  (match histograms t with
+  | [] -> ()
+  | hs ->
+    Format.fprintf ppf "sim-time histograms (ms):@,";
+    Format.fprintf ppf "  %-28s %8s %10s %10s %10s %10s@," "" "count" "total"
+      "mean" "min" "max";
+    List.iter
+      (fun (name, s) ->
+        Format.fprintf ppf "  %-28s %8d %10.3f %10.3f %10.3f %10.3f@," name
+          s.count (ms s.sum)
+          (if s.count = 0 then 0. else ms s.sum /. float_of_int s.count)
+          (ms s.min) (ms s.max))
+      hs);
+  let prims = List.filter (fun (_, c, _) -> c > 0) (prim_report t) in
+  (match prims with
+  | [] -> ()
+  | prims ->
+    let total = List.fold_left (fun acc (_, _, ns) -> acc + ns) 0 prims in
+    Format.fprintf ppf
+      "per-primitive sim-time attribution (\xc2\xa75.3.2 decomposition):@,";
+    Format.fprintf ppf "  %-28s %10s %12s %7s@," "" "count" "total ms" "share";
+    List.iter
+      (fun (name, count, ns) ->
+        Format.fprintf ppf "  %-28s %10d %12.3f %6.1f%%@," name count (ms ns)
+          (if total = 0 then 0.
+           else 100. *. float_of_int ns /. float_of_int total))
+      (List.sort (fun (_, _, a) (_, _, b) -> compare b a) prims);
+    Format.fprintf ppf "  %-28s %10s %12.3f@," "total" "" (ms total));
+  Format.fprintf ppf "@]"

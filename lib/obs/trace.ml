@@ -1,0 +1,274 @@
+(* Tracing sink: a ring buffer of typed events over an injected
+   simulated clock.  Everything here is deliberately dependency-free
+   (timestamps are plain ns integers) so that the hardware layer — the
+   discrete-event engine included — can depend on it. *)
+
+type value = Int of int | Str of string
+type args = (string * value) list
+
+type event =
+  | Span of {
+      name : string;
+      cat : string;
+      ts : int;
+      dur : int;
+      fib : int;
+      args : args;
+    }
+  | Instant of { name : string; cat : string; ts : int; fib : int; args : args }
+  | Counter of { name : string; ts : int; value : int }
+
+type t = {
+  capacity : int;
+  mutable enabled : bool;
+  mutable clock : unit -> int;
+  mutable fibre : unit -> int;
+  mutable buf : event array;
+  mutable start : int; (* index of the oldest event *)
+  mutable len : int;
+  mutable dropped : int;
+  (* per-fibre stacks of open spans: (name, cat, begin ts) *)
+  open_spans : (int, (string * string * int) list ref) Hashtbl.t;
+  fibre_names : (int, string) Hashtbl.t;
+}
+
+let filler = Counter { name = ""; ts = 0; value = 0 }
+
+let create ?(capacity = 262_144) () =
+  {
+    capacity = max capacity 0;
+    enabled = false;
+    clock = (fun () -> 0);
+    fibre = (fun () -> 0);
+    buf = [||];
+    start = 0;
+    len = 0;
+    dropped = 0;
+    open_spans = Hashtbl.create 16;
+    fibre_names = Hashtbl.create 16;
+  }
+
+(* Capacity 0 makes [enable] a no-op: the null sink can never record. *)
+let null = create ~capacity:0 ()
+
+let enabled t = t.enabled
+let enable t = if t.capacity > 0 then t.enabled <- true
+let disable t = t.enabled <- false
+
+let clear t =
+  t.start <- 0;
+  t.len <- 0;
+  t.dropped <- 0;
+  Hashtbl.reset t.open_spans
+
+let length t = t.len
+let dropped t = t.dropped
+let set_clock t clock = t.clock <- clock
+let set_fibre t fibre = t.fibre <- fibre
+
+let name_fibre t fib name =
+  if t.capacity > 0 then Hashtbl.replace t.fibre_names fib name
+
+let push t ev =
+  if t.buf = [||] then t.buf <- Array.make t.capacity filler;
+  if t.len < t.capacity then begin
+    t.buf.((t.start + t.len) mod t.capacity) <- ev;
+    t.len <- t.len + 1
+  end
+  else begin
+    t.buf.(t.start) <- ev;
+    t.start <- (t.start + 1) mod t.capacity;
+    t.dropped <- t.dropped + 1
+  end
+
+let stack_of t fib =
+  match Hashtbl.find_opt t.open_spans fib with
+  | Some s -> s
+  | None ->
+    let s = ref [] in
+    Hashtbl.replace t.open_spans fib s;
+    s
+
+let span_begin t ?(cat = "") name =
+  if t.enabled then begin
+    let fib = t.fibre () in
+    let stack = stack_of t fib in
+    stack := (name, cat, t.clock ()) :: !stack
+  end
+
+let span_end ?(args = []) t =
+  if t.enabled then begin
+    let fib = t.fibre () in
+    let stack = stack_of t fib in
+    match !stack with
+    | [] -> () (* unbalanced end: tolerated, nothing to record *)
+    | (name, cat, ts) :: rest ->
+      stack := rest;
+      push t (Span { name; cat; ts; dur = t.clock () - ts; fib; args })
+  end
+
+let with_span t ?cat name f =
+  if not t.enabled then f ()
+  else begin
+    span_begin t ?cat name;
+    match f () with
+    | v ->
+      span_end t;
+      v
+    | exception e ->
+      span_end ~args:[ ("exception", Str (Printexc.to_string e)) ] t;
+      raise e
+  end
+
+let instant t ?(cat = "") ?(args = []) name =
+  if t.enabled then
+    push t (Instant { name; cat; ts = t.clock (); fib = t.fibre (); args })
+
+let counter t name value =
+  if t.enabled then push t (Counter { name; ts = t.clock (); value })
+
+let charge t ~prim ~span =
+  if t.enabled then
+    push t
+      (Instant
+         {
+           name = prim;
+           cat = "cost";
+           ts = t.clock ();
+           fib = t.fibre ();
+           args = [ ("ns", Int span) ];
+         })
+
+let events t = List.init t.len (fun i -> t.buf.((t.start + i) mod t.capacity))
+
+(* --- Export ------------------------------------------------------- *)
+
+let ts_of = function Span { ts; _ } | Instant { ts; _ } | Counter { ts; _ } -> ts
+let dur_of = function Span { dur; _ } -> dur | Instant _ | Counter _ -> 0
+
+(* Chronological; an enclosing span sorts before the spans and
+   instants it contains (same ts, longer duration first). *)
+let sorted_events t =
+  List.stable_sort
+    (fun a b ->
+      let c = compare (ts_of a) (ts_of b) in
+      if c <> 0 then c else compare (dur_of b) (dur_of a))
+    (events t)
+
+let json_escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_json_string buf s =
+  Buffer.add_char buf '"';
+  json_escape buf s;
+  Buffer.add_char buf '"'
+
+let add_us buf ns =
+  (* trace_event timestamps are microseconds; keep ns precision in the
+     fraction *)
+  Buffer.add_string buf (Printf.sprintf "%.3f" (float_of_int ns /. 1e3))
+
+let add_args buf args =
+  Buffer.add_string buf "\"args\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      add_json_string buf k;
+      Buffer.add_char buf ':';
+      match v with
+      | Int n -> Buffer.add_string buf (string_of_int n)
+      | Str s -> add_json_string buf s)
+    args;
+  Buffer.add_char buf '}'
+
+let add_event buf ev =
+  let common ~name ~cat ~ph ~ts ~fib =
+    Buffer.add_string buf "{\"name\":";
+    add_json_string buf name;
+    if cat <> "" then begin
+      Buffer.add_string buf ",\"cat\":";
+      add_json_string buf cat
+    end;
+    Buffer.add_string buf (Printf.sprintf ",\"ph\":\"%s\",\"ts\":" ph);
+    add_us buf ts;
+    Buffer.add_string buf (Printf.sprintf ",\"pid\":1,\"tid\":%d" fib)
+  in
+  (match ev with
+  | Span { name; cat; ts; dur; fib; args } ->
+    common ~name ~cat ~ph:"X" ~ts ~fib;
+    Buffer.add_string buf ",\"dur\":";
+    add_us buf dur;
+    Buffer.add_char buf ',';
+    add_args buf args
+  | Instant { name; cat; ts; fib; args } ->
+    common ~name ~cat ~ph:"i" ~ts ~fib;
+    Buffer.add_string buf ",\"s\":\"t\",";
+    add_args buf args
+  | Counter { name; ts; value } ->
+    common ~name ~cat:"" ~ph:"C" ~ts ~fib:0;
+    Buffer.add_char buf ',';
+    add_args buf [ ("value", Int value) ]);
+  Buffer.add_char buf '}'
+
+let to_chrome_json t =
+  let buf = Buffer.create 65_536 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_string buf ",\n"
+  in
+  (* thread_name metadata first, sorted for determinism *)
+  Hashtbl.fold (fun fib name acc -> (fib, name) :: acc) t.fibre_names []
+  |> List.sort compare
+  |> List.iter (fun (fib, name) ->
+         sep ();
+         Buffer.add_string buf
+           (Printf.sprintf
+              "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\
+               \"args\":{\"name\":"
+              fib);
+         add_json_string buf name;
+         Buffer.add_string buf "}}");
+  List.iter
+    (fun ev ->
+      sep ();
+      add_event buf ev)
+    (sorted_events t);
+  Buffer.add_string buf "]}\n";
+  Buffer.contents buf
+
+let pp_value ppf = function
+  | Int n -> Format.fprintf ppf "%d" n
+  | Str s -> Format.fprintf ppf "%s" s
+
+let pp_args ppf args =
+  List.iter (fun (k, v) -> Format.fprintf ppf " %s=%a" k pp_value v) args
+
+let pp_text ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun ev ->
+      match ev with
+      | Span { name; cat; ts; dur; fib; args } ->
+        Format.fprintf ppf "%12dns fib%-3d span    %-14s %s dur=%dns%a@," ts
+          fib name cat dur pp_args args
+      | Instant { name; cat; ts; fib; args } ->
+        Format.fprintf ppf "%12dns fib%-3d instant %-14s %s%a@," ts fib name
+          cat pp_args args
+      | Counter { name; ts; value } ->
+        Format.fprintf ppf "%12dns        counter %-14s = %d@," ts name value)
+    (sorted_events t);
+  if t.dropped > 0 then
+    Format.fprintf ppf "(%d events dropped by the ring buffer)@," t.dropped;
+  Format.fprintf ppf "@]"

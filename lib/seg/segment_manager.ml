@@ -27,6 +27,11 @@ type t = {
 let stats t = t.stats
 let set_retention_capacity t n = t.retention_capacity <- n
 
+(* Segment-manager decisions as instant trace events, category "seg". *)
+let mark t name args =
+  let tr = Core.Pvm.tracer t.pvm in
+  if Obs.Trace.enabled tr then Obs.Trace.instant tr ~cat:"seg" name ~args
+
 let mapper_of_port t port =
   match Hashtbl.find_opt t.mappers port with
   | Some m -> m
@@ -77,6 +82,11 @@ let enforce_retention t =
       with
       | oldest :: _ ->
         t.stats.retention_evictions <- t.stats.retention_evictions + 1;
+        mark t "retention-evict"
+          [
+            ("cache", Obs.Trace.Int oldest.b_cache.Core.Types.c_id);
+            ("lru", Obs.Trace.Int oldest.b_lru);
+          ];
         drop_binding t oldest;
         go ()
       | [] -> ()
@@ -94,12 +104,22 @@ let bind t cap =
   | Some b ->
     if b.b_refs = 0 then t.stats.retention_hits <- t.stats.retention_hits + 1
     else t.stats.bind_hits <- t.stats.bind_hits + 1;
+    mark t "bind"
+      [
+        ("kind", Obs.Trace.Str (if b.b_refs = 0 then "retention-hit" else "hit"));
+        ("cache", Obs.Trace.Int b.b_cache.Core.Types.c_id);
+      ];
     b.b_refs <- b.b_refs + 1;
     b.b_cache
   | None ->
     let cache = Core.Cache.create t.pvm ~backing:(backing_of t cap) () in
     Capability.Table.replace t.bindings cap
       { b_cap = cap; b_cache = cache; b_refs = 1; b_lru = 0 };
+    mark t "bind"
+      [
+        ("kind", Obs.Trace.Str "miss");
+        ("cache", Obs.Trace.Int cache.Core.Types.c_id);
+      ];
     cache
 
 let unbind t cap =
@@ -128,6 +148,11 @@ let segment_create_hook t (_cache : Core.Pvm.cache) =
   | Some alloc ->
     let key = alloc () in
     t.stats.swap_segments <- t.stats.swap_segments + 1;
+    mark t "swap-create"
+      [
+        ("cache", Obs.Trace.Int _cache.Core.Types.c_id);
+        ("key", Obs.Trace.Int (Int64.to_int key));
+      ];
     let cap = Capability.make ~port:t.default_mapper_port ~key in
     Some (backing_of t cap)
 
