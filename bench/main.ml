@@ -1,13 +1,14 @@
 (* Benchmark harness regenerating the paper's evaluation (§5.3).
 
-   Usage: main.exe [--metrics-out FILE] [SUBCOMMAND...]
+   Usage: main.exe [--metrics-out FILE] [--tie-seed N] [SUBCOMMAND...]
    With no subcommand everything runs (the order follows the paper);
    [--metrics-out] additionally writes the printed table cells as JSON
-   (see Report). *)
+   (see Report); [--tie-seed] perturbs the engine's scheduling of
+   equal-time fibres — results must not change (CI compares). *)
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--metrics-out FILE] \
+    "usage: main.exe [--metrics-out FILE] [--tie-seed N] \
      [all|table5|table6|table7|prelim|derived|fig3|ablation-chains|\
      ablation-segcache|ablation-pervpage|ablation-ipc|ablation-dsm|macro|\
      bechamel]";
@@ -52,7 +53,12 @@ let () =
     | "--metrics-out" :: file :: rest ->
       Report.out := Some file;
       parse rest
-    | [ "--metrics-out" ] -> usage ()
+    | "--tie-seed" :: seed :: rest ->
+      (match int_of_string_opt seed with
+      | Some n -> Util.tie_break := Hw.Engine.Seeded n
+      | None -> usage ());
+      parse rest
+    | [ "--metrics-out" ] | [ "--tie-seed" ] -> usage ()
     | cmds -> cmds
   in
   (match parse (List.tl (Array.to_list Sys.argv)) with

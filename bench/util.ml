@@ -3,9 +3,14 @@
 let ps = 8192
 let kb n = n * 1024
 
+(* Schedule perturbation for determinism checks (--tie-seed): when
+   seeded, equal-time fibres are legally reordered.  Table cells must
+   come out byte-identical regardless — CI compares the outputs. *)
+let tie_break = ref Hw.Engine.Fifo
+
 (* Run [f] in a fresh discrete-event engine and return its result. *)
 let in_sim f =
-  let engine = Hw.Engine.create () in
+  let engine = Hw.Engine.create ~tie_break:!tie_break () in
   Hw.Engine.run_fn engine (fun () -> f engine)
 
 (* Simulated time consumed by [f], in nanoseconds. *)

@@ -138,14 +138,18 @@ let inspect () =
       Format.printf "%a@.@.%a@." Core.Inspect.pp_state pvm
         Core.Inspect.pp_context ctx)
 
-(* Scenario bodies shared by the trace and stats subcommands: the same
-   workloads as the interactive commands above, but quiet, and under
-   the calibrated Sun-3/60 profile (the [create] default) so spans
-   carry durations and the per-primitive attribution is populated.
-   Each returns the PVM instances involved, for reporting. *)
+(* Scenario bodies shared by the trace, stats and check subcommands:
+   the same workloads as the interactive commands above, but quiet,
+   and under the calibrated Sun-3/60 profile (the [create] default) so
+   spans carry durations and the per-primitive attribution is
+   populated.  Each returns the PVM instances involved, for reporting;
+   [register] is additionally called with each PVM as soon as it
+   exists, so the check subcommand's per-event sweep can watch
+   instances while the scenario is still running. *)
 
-let scenario_fig3 engine =
+let scenario_fig3 ?(register = fun _ -> ()) engine =
   let pvm = Core.Pvm.create ~frames:256 ~engine () in
+  register pvm;
   let ctx = Core.Context.create pvm in
   let mk base =
     let cache = Core.Cache.create pvm () in
@@ -167,8 +171,9 @@ let scenario_fig3 engine =
   Core.Pvm.write pvm ctx ~addr:(1024 * ps) (Bytes.make ps 'c');
   [ pvm ]
 
-let scenario_fork engine =
+let scenario_fork ?(register = fun _ -> ()) engine =
   let site = Nucleus.Site.create ~frames:2048 ~engine () in
+  register site.Nucleus.Site.pvm;
   let images = Mix.Image.create_store site in
   let _ =
     Mix.Image.add_image images ~name:"sh"
@@ -187,13 +192,14 @@ let scenario_fork engine =
   done;
   [ site.Nucleus.Site.pvm ]
 
-let scenario_dsm engine =
+let scenario_dsm ?(register = fun _ -> ()) engine =
   let seg =
     Dsm.Coherent.create ~latency:(Hw.Sim_time.ms 2) ~size:(4 * ps)
       ~page_size:ps ()
   in
   let mk () =
     let pvm = Core.Pvm.create ~frames:32 ~engine () in
+    register pvm;
     let site = Dsm.Coherent.attach seg pvm in
     let ctx = Core.Context.create pvm in
     let _ =
@@ -210,8 +216,9 @@ let scenario_dsm engine =
   done;
   [ fst a; fst b ]
 
-let scenario_ipc engine =
+let scenario_ipc ?(register = fun _ -> ()) engine =
   let site = Nucleus.Site.create ~frames:256 ~engine () in
+  register site.Nucleus.Site.pvm;
   let transit = Nucleus.Transit.create site ~slots:4 () in
   let sender = Nucleus.Actor.create site in
   let receiver = Nucleus.Actor.create site in
@@ -231,21 +238,67 @@ let scenario_ipc engine =
   done;
   [ site.Nucleus.Site.pvm ]
 
+(* Several fibres hammering overlapping pages of one cache through a
+   frame pool too small to hold them, over a swap store with real seek
+   latency: every fault may find its page mid-pullIn or mid-pushOut on
+   another fibre, which is exactly the §3.3.3 blocking discipline the
+   harness perturbs and checks.  Written for the check subcommand but
+   usable with trace/stats too. *)
+let scenario_contend ?(register = fun _ -> ()) engine =
+  let site =
+    Nucleus.Site.create ~frames:6 ~swap_seek_time:(Hw.Sim_time.ms 4)
+      ~swap_transfer_time_per_page:(Hw.Sim_time.ms 1) ~engine ()
+  in
+  let pvm = site.Nucleus.Site.pvm in
+  register pvm;
+  let ctx = Core.Context.create pvm in
+  let cache = Core.Cache.create pvm () in
+  let pages = 8 in
+  let _ =
+    Core.Region.create pvm ctx ~addr:0 ~size:(pages * ps)
+      ~prot:Hw.Prot.read_write cache ~offset:0
+  in
+  for f = 0 to 3 do
+    Hw.Engine.spawn engine ~name:(Printf.sprintf "worker-%d" f) (fun () ->
+        for round = 0 to 5 do
+          for i = 0 to pages - 1 do
+            let page = (i + f + round) mod pages in
+            Core.Pvm.write pvm ctx
+              ~addr:((page * ps) + (f * 64))
+              (Bytes.make 16 (Char.chr (65 + f)));
+            ignore
+              (Core.Pvm.read pvm ctx
+                 ~addr:((page + (pages / 2)) mod pages * ps)
+                 ~len:8)
+          done
+        done)
+  done;
+  [ pvm ]
+
+(* [deterministic] marks scenarios whose observable outcome must not
+   depend on the schedule: single logical thread of control, so the
+   check subcommand compares stats across seeds byte-for-byte.
+   [contend] is excluded — its racing writers legitimately interleave
+   differently per schedule, and only the safety properties (invariant
+   sweep, blocking discipline) are schedule-independent. *)
 let scenarios =
   [
-    ("fig3", scenario_fig3);
-    ("fork", scenario_fork);
-    ("dsm", scenario_dsm);
-    ("ipc", scenario_ipc);
+    ("fig3", (scenario_fig3, true));
+    ("fork", (scenario_fork, true));
+    ("dsm", (scenario_dsm, true));
+    ("ipc", (scenario_ipc, true));
+    ("contend", (scenario_contend, false));
   ]
 
-let scenario_body name =
+let scenario_entry name =
   match List.assoc_opt name scenarios with
-  | Some body -> body
+  | Some entry -> entry
   | None ->
     Printf.eprintf "chorus: unknown scenario '%s' (available: %s)\n" name
       (String.concat ", " (List.map fst scenarios));
     exit 2
+
+let scenario_body name = fst (scenario_entry name)
 
 let trace scenario out =
   let body = scenario_body scenario in
@@ -281,6 +334,80 @@ let stats scenario =
       Format.printf "%a@." Obs.Metrics.pp (Core.Pvm.metrics pvm))
     pvms
 
+(* chorus check SCENARIO: run under the sanitizer and the
+   schedule-perturbation harness.  One reference run with FIFO
+   tie-break, then one per seed with equal-time fibres legally
+   permuted; every run must pass the quiescent invariant sweep and the
+   §3.3.3 blocking-discipline analysis of its trace, and all runs must
+   agree on the observable outcome (stats counters and frame-pool
+   occupancy). *)
+
+let check scenario seeds every_event =
+  let body, deterministic = scenario_entry scenario in
+  let failures = ref 0 in
+  let fail label fmt =
+    incr failures;
+    Format.eprintf ("%s: " ^^ fmt ^^ "@.") label
+  in
+  let run_one label tie =
+    let engine = Hw.Engine.create ~tie_break:tie () in
+    let tr = Obs.Trace.create () in
+    Hw.Engine.set_tracer engine tr;
+    Obs.Trace.enable tr;
+    let registered = ref [] in
+    let register pvm = registered := pvm :: !registered in
+    if every_event then
+      Hw.Engine.set_event_hook engine (fun () ->
+          List.iter
+            (fun pvm ->
+              match Check.Sanitizer.run ~strict:false pvm with
+              | [] -> ()
+              | vs ->
+                fail label "structural sweep failed mid-run:@,%a"
+                  (fun ppf -> Check.Sanitizer.report ppf pvm)
+                  vs)
+            !registered);
+    let pvms = Hw.Engine.run_fn engine (fun () -> body ~register engine) in
+    List.iteri
+      (fun i pvm ->
+        match Check.Sanitizer.run ~strict:true pvm with
+        | [] -> ()
+        | vs ->
+          fail label "pvm %d failed the quiescent sweep:@,%a" i
+            (fun ppf -> Check.Sanitizer.report ppf pvm)
+            vs)
+      pvms;
+    List.iter
+      (fun v -> fail label "%a" Check.Blocking.pp_violation v)
+      (Check.Blocking.analyze tr);
+    String.concat "\n"
+      (List.map
+         (fun pvm ->
+           Format.asprintf "%a used=%d" Core.Types.pp_stats
+             (Core.Pvm.stats pvm)
+             (Hw.Phys_mem.used_frames (Core.Pvm.memory pvm)))
+         pvms)
+  in
+  let reference = run_one "fifo" Hw.Engine.Fifo in
+  for seed = 1 to seeds do
+    let label = Printf.sprintf "seed %d" seed in
+    let digest = run_one label (Hw.Engine.Seeded seed) in
+    if deterministic && not (String.equal digest reference) then
+      fail label "schedule-dependent outcome:@,--- fifo@,%s@,--- %s@,%s"
+        reference label digest
+  done;
+  if !failures = 0 then
+    Printf.printf
+      "chorus check %s: OK — fifo + %d seed(s)%s; quiescent sweep and \
+       blocking discipline hold%s\n"
+      scenario seeds
+      (if every_event then ", per-event structural sweep" else "")
+      (if deterministic then "; outcome schedule-independent" else "")
+  else begin
+    Printf.eprintf "chorus check %s: %d failure(s)\n" scenario !failures;
+    exit 1
+  end
+
 let n_arg ~doc default =
   Arg.(value & pos 0 int default & info [] ~docv:"N" ~doc)
 
@@ -288,7 +415,7 @@ let scenario_arg =
   Arg.(
     required
     & pos 0 (some string) None
-    & info [] ~docv:"SCENARIO" ~doc:"one of: fig3, fork, dsm, ipc")
+    & info [] ~docv:"SCENARIO" ~doc:"one of: fig3, fork, dsm, ipc, contend")
 
 let cmds =
   [
@@ -317,6 +444,26 @@ let cmds =
             & opt (some string) None
             & info [ "o"; "output" ] ~docv:"FILE"
                 ~doc:"write the trace to $(docv) instead of stdout"));
+    Cmd.v
+      (Cmd.info "check"
+         ~doc:
+           "run a scenario under the whole-state invariant sanitizer and \
+            the schedule-perturbation harness: N seeded reorderings of \
+            equal-time fibres, each swept for invariant violations and \
+            \xc2\xa73.3.3 blocking-discipline breaches, with outcomes \
+            compared across schedules")
+      Term.(
+        const check $ scenario_arg
+        $ Arg.(
+            value & opt int 3
+            & info [ "seeds" ] ~docv:"N"
+                ~doc:"number of perturbed schedules to run besides FIFO")
+        $ Arg.(
+            value & flag
+            & info [ "every-event" ]
+                ~doc:
+                  "additionally run the structural invariant sweep after \
+                   every engine event (slow)"));
     Cmd.v
       (Cmd.info "stats"
          ~doc:

@@ -1,0 +1,82 @@
+type violation = {
+  cache : int;
+  off : int;
+  transit : string;
+  transit_fib : int;
+  intruder_fib : int;
+  t_start : int;
+  t_end : int;
+  at : int;
+}
+
+let int_arg args k =
+  List.find_map
+    (function
+      | k', Obs.Trace.Int v when String.equal k k' -> Some v | _ -> None)
+    args
+
+let str_arg args k =
+  List.find_map
+    (function
+      | k', Obs.Trace.Str v when String.equal k k' -> Some v | _ -> None)
+    args
+
+(* A span is a transit iff the pager is moving the fragment's value:
+   every pullIn and pushOut, but only dirty evictions (clean ones drop
+   the frame without any I/O and open no window). *)
+let transit_of = function
+  | Obs.Trace.Span { cat = "pager"; name; ts; dur; fib; args }
+    when name = "pullIn" || name = "pushOut"
+         || (name = "evict" && str_arg args "dirty" = Some "true") -> (
+    match (int_arg args "cache", int_arg args "off") with
+    | Some cache, Some off -> Some (cache, off, name, ts, dur, fib)
+    | _ -> None)
+  | _ -> None
+
+let fault_of = function
+  | Obs.Trace.Span { cat = "vm"; name = "fault"; ts; dur; fib; args } -> (
+    match (int_arg args "cache", int_arg args "off") with
+    | Some cache, Some off -> Some (cache, off, ts, dur, fib)
+    | _ -> None)
+  | _ -> None
+
+let analyze tr =
+  let events = Obs.Trace.events tr in
+  let transits = List.filter_map transit_of events in
+  let faults = List.filter_map fault_of events in
+  let violations =
+    List.concat_map
+      (fun (fc, fo, fts, fdur, ffib) ->
+        List.filter_map
+          (fun (tc, to_, name, tts, tdur, tfib) ->
+            if
+              tc = fc && to_ = fo && tfib <> ffib
+              (* strictly inside: a blocked fault legally resumes at
+                 exactly the transit's end timestamp *)
+              && fts > tts
+              && fts + fdur < tts + tdur
+            then
+              Some
+                {
+                  cache = tc;
+                  off = to_;
+                  transit = name;
+                  transit_fib = tfib;
+                  intruder_fib = ffib;
+                  t_start = tts;
+                  t_end = tts + tdur;
+                  at = fts;
+                }
+            else None)
+          transits)
+      faults
+  in
+  List.sort (fun a b -> compare (a.at, a.cache, a.off) (b.at, b.cache, b.off))
+    violations
+
+let pp_violation ppf v =
+  Format.fprintf ppf
+    "fibre %d resolved a fault on (%d,%d) at t=%d inside fibre %d's %s \
+     window [%d,%d] — §3.3.3 blocking discipline violated"
+    v.intruder_fib v.cache v.off v.at v.transit_fib v.transit v.t_start
+    v.t_end

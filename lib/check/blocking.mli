@@ -1,0 +1,34 @@
+(** Dynamic checker for the §3.3.3 blocking discipline.
+
+    While a fragment is in transit — its pager is serving a pullIn, a
+    pushOut or a dirty eviction — every other fibre touching that
+    fragment must block on the synchronization stub until the transfer
+    completes (§4.1.2).  A fault on the same (cache, offset) that both
+    starts {e and} resolves strictly inside another fibre's transit
+    window therefore proves the discipline was violated: the intruder
+    ran to completion against a page that was supposed to be
+    unreachable.
+
+    The checker is a pure post-analysis of a captured {!Obs.Trace}
+    buffer: it correlates the pager's transit spans with the vm fault
+    spans (both carry [cache]/[off] arguments) and never touches live
+    PVM state.  Strict containment is deliberate — a correctly blocked
+    fault resumes at exactly the transit's end timestamp, and must not
+    be flagged. *)
+
+type violation = {
+  cache : int;
+  off : int;  (** the fragment in transit *)
+  transit : string;  (** "pullIn", "pushOut" or "evict" *)
+  transit_fib : int;
+  intruder_fib : int;
+  t_start : int;
+  t_end : int;  (** the transit window, simulated ns *)
+  at : int;  (** when the intruding fault began *)
+}
+
+val analyze : Obs.Trace.t -> violation list
+(** Scan a captured trace for blocking-discipline violations.  Returns
+    them ordered by the intruding fault's timestamp. *)
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -325,36 +325,40 @@ let invalidate_window pvm (cache : cache) ~off ~size =
 let purge_range pvm (cache : cache) ~off ~size =
   if size > 0 then begin
     invalidate_window pvm cache ~off ~size;
+    (* Drop the range's pages, materialising stubs that read through
+       individual pages.  Materialisation can evict pages and pull
+       them back in behind the iteration, so loop until the range is
+       really empty. *)
+    let rec drain_pages budget =
+      if budget = 0 then failwith "purge_range: pages not draining";
+      match own_pages_in_range cache ~off ~size with
+      | [] -> ()
+      | pages ->
+        List.iter
+          (fun (p : page) ->
+            if p.p_alive then begin
+              if p.p_cow_stubs <> [] then
+                Pervpage.with_wired p (fun () ->
+                    Pervpage.flush_stubs pvm p);
+              if p.p_alive then Install.remove_page pvm p ~free_frame:true
+            end)
+          pages;
+        drain_pages (budget - 1)
+    in
     if range_has_readers pvm cache ~off ~size then
       ignore (split_to_zombie pvm cache ~off ~size)
-    else begin
-      (* Nothing reads the old contents through the cache: drop them,
-         materialising stubs that read through individual pages.
-         Materialisation can evict pages and pull them back in behind
-         the iteration, so loop until the range is really empty. *)
-      let rec drain_pages budget =
-        if budget = 0 then failwith "purge_range: pages not draining";
-        match own_pages_in_range cache ~off ~size with
-        | [] -> ()
-        | pages ->
-          List.iter
-            (fun (p : page) ->
-              if p.p_alive then begin
-                if p.p_cow_stubs <> [] then
-                  Pervpage.with_wired p (fun () ->
-                      Pervpage.flush_stubs pvm p);
-                if p.p_alive then Install.remove_page pvm p ~free_frame:true
-              end)
-            pages;
-          drain_pages (budget - 1)
-      in
-      drain_pages 64
-    end;
-    (* Flushing above may have evicted in-range pages, retargeting
+    else
+      (* Nothing reads the old contents through the cache: drop them. *)
+      drain_pages 64;
+    (* Draining above may have evicted in-range pages, retargeting
        their threaded stubs into pending ones keyed on this cache;
        those still denote the old contents and must be materialised
-       (from swap) before we forget them.  Materialisation itself can
-       evict further pages, so iterate to a fixpoint. *)
+       (from swap) before we forget them.  Materialising a pending
+       stub pulls its source value back into this very range, so each
+       round is followed by another page drain — otherwise the stale
+       page stays behind and the caller's next insert at its offset
+       silently orphans it (the descriptor lingers on [c_pages] with
+       no global-map entry, its frame held forever). *)
     let offsets = page_offsets pvm ~off ~size in
     let rec drain_pending budget =
       if budget = 0 then failwith "purge_range: pending stubs not draining";
@@ -365,6 +369,7 @@ let purge_range pvm (cache : cache) ~off ~size =
       in
       if found then begin
         List.iter (fun o -> Pervpage.materialize_pending pvm cache ~off:o) offsets;
+        drain_pages 64;
         drain_pending (budget - 1)
       end
     in

@@ -19,7 +19,10 @@ let find_region (ctx : context) ~addr =
    history also receives a copy of the (pre-divergence) value — the
    complication of §4.2.3: at the time the history was created, its
    value was logically taken from the same source. *)
-let child_copy pvm (cache : cache) ~off =
+let rec child_copy pvm (cache : cache) ~off =
+  (* [finish] re-probes the destination at insert time: the frame
+     allocation and copy/zero charges are scheduling points, and a
+     concurrent fibre may resolve the same miss first (§3.3.3). *)
   let finish source_frame =
     let frame = Pager.alloc_frame pvm in
     (match source_frame with
@@ -31,34 +34,49 @@ let child_copy pvm (cache : cache) ~off =
       charge pvm Hw.Cost.Bzero_page;
       Hw.Phys_mem.bzero frame;
       pvm.stats.n_zero_fills <- pvm.stats.n_zero_fills + 1);
-    let page =
-      Install.insert_page pvm cache ~off frame ~pulled_prot:Hw.Prot.all
+    match
+      Install.try_insert_fresh pvm cache ~off frame ~pulled_prot:Hw.Prot.all
         ~cow_protected:false
-    in
-    page.p_dirty <- true;
-    page
+    with
+    | Some page ->
+      page.p_dirty <- true;
+      Some page
+    | None -> None
   in
-  match Value.source_value pvm cache ~off with
-  | `Page sp ->
-    Pervpage.with_wired sp (fun () ->
-        (match History.covered_and_missing pvm cache ~off with
-        | Some (h, h_off) ->
-          ignore (History.store_original pvm ~src_page:sp ~h ~h_off)
-        | None -> ());
-        finish (Some sp.p_frame))
-  | `Zero ->
-    (match History.covered_and_missing pvm cache ~off with
-    | Some (h, h_off) ->
-      let frame = Pager.alloc_frame pvm in
-      charge pvm Hw.Cost.Bzero_page;
-      Hw.Phys_mem.bzero frame;
-      let hp =
-        Install.insert_page pvm h ~off:h_off frame ~pulled_prot:Hw.Prot.all
-          ~cow_protected:(History.is_covered h ~off:h_off)
-      in
-      hp.p_dirty <- true
-    | None -> ());
-    finish None
+  let inserted =
+    match Value.source_value pvm cache ~off with
+    | `Page sp ->
+      Pervpage.with_wired sp (fun () ->
+          (match History.covered_and_missing pvm cache ~off with
+          | Some (h, h_off) ->
+            History.store_original pvm ~src_page:sp ~h ~h_off
+          | None -> ());
+          finish (Some sp.p_frame))
+    | `Zero ->
+      (match History.covered_and_missing pvm cache ~off with
+      | Some (h, h_off) ->
+        let frame = Pager.alloc_frame pvm in
+        charge pvm Hw.Cost.Bzero_page;
+        Hw.Phys_mem.bzero frame;
+        (match
+           Install.try_insert_fresh pvm h ~off:h_off frame
+             ~pulled_prot:Hw.Prot.all
+             ~cow_protected:(History.is_covered h ~off:h_off)
+         with
+        | Some hp -> hp.p_dirty <- true
+        | None -> ())
+      | None -> ());
+      finish None
+  in
+  match inserted with
+  | Some page -> page
+  | None -> (
+    (* Lost the race: settle on the concurrent fibre's resolution. *)
+    match Global_map.wait_not_in_transit pvm cache ~off with
+    | Some (Resident p) -> p
+    | Some (Cow_stub s) -> Pervpage.resolve_write pvm s
+    | Some (Sync_stub _) -> assert false
+    | None -> child_copy pvm cache ~off)
 
 (* Make sure [cache] owns a resident page at [off] that is safe to
    write: originals pushed to the history, per-page stubs flushed,
@@ -250,6 +268,10 @@ let handle pvm (ctx : context) ~addr ~(access : Hw.Mmu.access) =
   let traced = Obs.Trace.enabled tr in
   if traced then Obs.Trace.span_begin tr ~cat:"vm" "fault";
   let t0 = Hw.Engine.now pvm.engine in
+  (* (cache, off) of the faulted fragment, once the region lookup has
+     identified it: lets the §3.3.3 blocking checker correlate fault
+     spans with the pullIn/pushOut transit spans of the pager. *)
+  let target = ref [] in
   match
     charge pvm Hw.Cost.Fault_dispatch;
     match find_region ctx ~addr with
@@ -260,6 +282,12 @@ let handle pvm (ctx : context) ~addr ~(access : Hw.Mmu.access) =
       let off =
         page_align_down pvm (region.r_offset + (addr - region.r_addr))
       in
+      if traced then
+        target :=
+          [
+            ("cache", Obs.Trace.Int region.r_cache.c_id);
+            ("off", Obs.Trace.Int off);
+          ];
       let vpn = addr / page_size pvm in
       charge pvm Hw.Cost.Map_lookup;
       resolve pvm region region.r_cache ~off ~vpn ~access
@@ -271,13 +299,18 @@ let handle pvm (ctx : context) ~addr ~(access : Hw.Mmu.access) =
     if traced then
       Obs.Trace.span_end tr
         ~args:
-          [
-            ("addr", Int addr);
-            ("access", Str (access_name access));
-            ("resolution", Str (resolution_name kind));
-          ]
+          (([
+              ("addr", Int addr);
+              ("access", Str (access_name access));
+              ("resolution", Str (resolution_name kind));
+            ]
+             : Obs.Trace.args)
+          @ !target)
   | exception e ->
     if traced then
       Obs.Trace.span_end tr
-        ~args:[ ("addr", Int addr); ("resolution", Str "error") ];
+        ~args:
+          (([ ("addr", Int addr); ("resolution", Str "error") ]
+             : Obs.Trace.args)
+          @ !target);
     raise e

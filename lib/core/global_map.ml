@@ -32,11 +32,14 @@ let rec wait_not_in_transit pvm cache ~off =
 
 (* Install a synchronization stub for a page about to be pulled in or
    pushed out; any future access to the page sleeps until [finish] is
-   called (paper §4.1.2). *)
+   called (paper §4.1.2).  The stub goes into the map BEFORE the
+   insertion cost is charged: charging is a scheduling point, and the
+   fragment must already read as in-transit when another fibre runs —
+   otherwise two fibres can both elect it for pull-in or eviction. *)
 let insert_sync_stub pvm cache ~off =
-  charge pvm Hw.Cost.Stub_insert;
   let cond = Hw.Engine.Cond.create () in
   set pvm cache ~off (Sync_stub cond);
+  charge pvm Hw.Cost.Stub_insert;
   cond
 
 let finish_sync_stub pvm cache ~off cond replacement =

@@ -69,13 +69,17 @@ let store_original pvm ~(src_page : page) ~(h : cache) ~h_off =
         frame)
   in
   charge pvm Hw.Cost.Stub_insert;
-  let page =
-    Install.insert_page pvm h ~off:h_off frame ~pulled_prot:Hw.Prot.all
+  (* The charges above are scheduling points: a concurrent writer may
+     have saved the original meanwhile, in which case ours is redundant
+     (the §4.2.2 "still missing" condition no longer holds). *)
+  match
+    Install.try_insert_fresh pvm h ~off:h_off frame ~pulled_prot:Hw.Prot.all
       ~cow_protected:(is_covered h ~off:h_off)
-  in
-  page.p_dirty <- true;
-  pvm.stats.n_cow_copies <- pvm.stats.n_cow_copies + 1;
-  page
+  with
+  | Some page ->
+    page.p_dirty <- true;
+    pvm.stats.n_cow_copies <- pvm.stats.n_cow_copies + 1
+  | None -> ()
 
 (* Resolve a write violation on a read-protected page of a copy
    source (§4.2.2): push the original value into the history object if
@@ -83,7 +87,7 @@ let store_original pvm ~(src_page : page) ~(h : cache) ~h_off =
    writable. *)
 let resolve_source_write pvm (page : page) =
   (match covered_and_missing pvm page.p_cache ~off:page.p_offset with
-  | Some (h, h_off) -> ignore (store_original pvm ~src_page:page ~h ~h_off)
+  | Some (h, h_off) -> store_original pvm ~src_page:page ~h ~h_off
   | None -> ());
   Pmap.cow_release pvm page;
   page.p_dirty <- true

@@ -33,10 +33,11 @@ val covered_and_missing :
 val is_covered : Types.cache -> off:int -> bool
 
 val store_original :
-  Types.pvm -> src_page:Types.page -> h:Types.cache -> h_off:int -> Types.page
+  Types.pvm -> src_page:Types.page -> h:Types.cache -> h_off:int -> unit
 (** Copy [src_page]'s current (original) value into history [h].  The
     stored page is dirty — its value exists nowhere else — and itself
-    read-protected when [h] has a covering history. *)
+    read-protected when [h] has a covering history.  A no-op when a
+    concurrent writer saved the original first. *)
 
 val resolve_source_write : Types.pvm -> Types.page -> unit
 (** The §4.2.2 write-violation algorithm for a copy source: save the

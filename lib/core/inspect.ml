@@ -97,3 +97,18 @@ let pp_context ppf (ctx : context) =
 
 let frames_held (pvm : pvm) =
   List.fold_left (fun acc c -> acc + List.length c.c_pages) 0 pvm.caches
+
+(* --- Invariant accessors (used by the Check.Sanitizer sweep) ----- *)
+
+let pages (pvm : pvm) = List.concat_map (fun c -> c.c_pages) pvm.caches
+
+let sync_stubs_in_flight (pvm : pvm) =
+  Hashtbl.fold
+    (fun _ entry acc ->
+      match entry with Sync_stub _ -> acc + 1 | Resident _ | Cow_stub _ -> acc)
+    pvm.gmap 0
+
+let locked_regions (pvm : pvm) =
+  List.concat_map
+    (fun ctx -> List.filter (fun r -> r.r_locked) ctx.ctx_regions)
+    pvm.contexts

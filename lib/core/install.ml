@@ -80,6 +80,23 @@ let insert_page pvm (cache : cache) ~off frame ~pulled_prot ~cow_protected =
   rethread_pending_stubs pvm page;
   page
 
+(* Install [frame] as the resident page for (cache, off) — unless a
+   concurrent operation filled the slot while the caller slept inside
+   frame allocation or a copy/zero charge.  Every creation path
+   reaches its insert through such scheduling points, so the
+   destination must be re-probed at insert time; on a lost race the
+   frame is returned to the pool and the caller settles on whatever
+   value won (§3.3.3). *)
+let try_insert_fresh pvm (cache : cache) ~off frame ~pulled_prot
+    ~cow_protected =
+  match Global_map.peek pvm cache ~off with
+  | None ->
+    Some (insert_page pvm cache ~off frame ~pulled_prot ~cow_protected)
+  | Some _ ->
+    charge pvm Hw.Cost.Frame_free;
+    Hw.Phys_mem.free pvm.mem frame;
+    None
+
 (* Detach a page from every structure.  Per-virtual-page stubs still
    reading through it must have been materialised or retargeted by the
    caller. *)

@@ -31,6 +31,20 @@ val insert_page :
 (** Make [frame] the resident entry for (cache, off); the slot must be
     free or hold the caller's synchronization stub. *)
 
+val try_insert_fresh :
+  Types.pvm ->
+  Types.cache ->
+  off:int ->
+  Hw.Phys_mem.frame ->
+  pulled_prot:Hw.Prot.t ->
+  cow_protected:bool ->
+  Types.page option
+(** Like {!insert_page}, but for creation paths that reach their
+    insert through scheduling points (frame allocation, copy/zero
+    charges): re-probes the destination and, when a concurrent
+    operation filled the slot first, frees [frame] and returns [None]
+    so the caller settles on the winning value (§3.3.3). *)
+
 val remove_page : Types.pvm -> Types.page -> free_frame:bool -> unit
 (** Detach a page from every structure.  Its threaded stubs must have
     been materialised or retargeted first. *)

@@ -67,11 +67,18 @@ let retarget_stubs pvm (page : page) =
    a synchronization stub, so concurrent access to the fragment
    sleeps. *)
 let push_out pvm (page : page) =
-  match ensure_backing pvm page.p_cache with
-  | None -> invalid_arg "Pager.push_out: cache has no backing"
+  let cache = page.p_cache and off = page.p_offset in
+  pvm.stats.n_push_outs <- pvm.stats.n_push_outs + 1;
+  (* Claim the fragment before the first scheduling point: the
+     segmentCreate upcall below may charge or block, and until the
+     synchronization stub is in the map a concurrent allocator could
+     still elect this page for eviction (§3.3.3). *)
+  let cond = Global_map.insert_sync_stub pvm cache ~off in
+  match ensure_backing pvm cache with
+  | None ->
+    Global_map.finish_sync_stub pvm cache ~off cond (Some (Resident page));
+    invalid_arg "Pager.push_out: cache has no backing"
   | Some backing ->
-    let cache = page.p_cache and off = page.p_offset in
-    pvm.stats.n_push_outs <- pvm.stats.n_push_outs + 1;
     spanned pvm ~name:"pushOut"
       ~args:
         [
@@ -80,7 +87,6 @@ let push_out pvm (page : page) =
           ("off", Int off);
         ]
     @@ fun () ->
-    let cond = Global_map.insert_sync_stub pvm cache ~off in
     let copy_back ~offset ~size =
       assert (offset >= off && offset + size <= off + page_size pvm);
       Hw.Phys_mem.read page.p_frame ~off:(offset - off) ~len:size
@@ -107,6 +113,14 @@ let evict pvm (page : page) =
   pvm.stats.n_evictions <- pvm.stats.n_evictions + 1;
   retarget_stubs pvm page;
   let cache = page.p_cache and off = page.p_offset in
+  (* Claim the victim before the first scheduling point (nothing above
+     this line charges): [remove_page] and the segmentCreate upcall
+     both yield inside charged primitives, and until the resident
+     entry is replaced by a synchronization stub a concurrent
+     allocator can elect the same victim (double-freeing its frame)
+     and a concurrent fault can map the dying page (§3.3.3). *)
+  let cond = Hw.Engine.Cond.create () in
+  Global_map.set pvm cache ~off (Sync_stub cond);
   spanned pvm ~name:"evict"
     ~args:
       [
@@ -117,10 +131,13 @@ let evict pvm (page : page) =
   @@ fun () ->
   if page.p_dirty then begin
     match ensure_backing pvm cache with
-    | None -> invalid_arg "Pager.evict: dirty page with no backing"
+    | None ->
+      Global_map.finish_sync_stub pvm cache ~off cond
+        (Some (Resident page));
+      invalid_arg "Pager.evict: dirty page with no backing"
     | Some backing ->
       pvm.stats.n_push_outs <- pvm.stats.n_push_outs + 1;
-      let cond = Global_map.insert_sync_stub pvm cache ~off in
+      charge pvm Hw.Cost.Stub_insert;
       let ps = page_size pvm in
       let snapshot = Hw.Phys_mem.read page.p_frame ~off:0 ~len:ps in
       Install.remove_page pvm page ~free_frame:true;
@@ -137,7 +154,10 @@ let evict pvm (page : page) =
           backing.b_push_out ~offset:off ~size:ps ~copy_back;
           if cache.c_anonymous then Hashtbl.replace cache.c_backed_offs off ())
   end
-  else Install.remove_page pvm page ~free_frame:true
+  else begin
+    Install.remove_page pvm page ~free_frame:true;
+    Global_map.finish_sync_stub pvm cache ~off cond None
+  end
 
 (* Background page-out: the data-management policy the paper places
    below the GMI can also run asynchronously.  The daemon keeps free
@@ -165,6 +185,15 @@ let start_daemon pvm ~low_water ~high_water ~period =
    exhausted. *)
 let alloc_frame pvm =
   charge pvm Hw.Cost.Frame_alloc;
+  let transfer_in_flight () =
+    Hashtbl.fold
+      (fun _ entry acc ->
+        match (acc, entry) with
+        | Some _, _ -> acc
+        | None, Sync_stub cond -> Some cond
+        | None, (Resident _ | Cow_stub _) -> None)
+      pvm.gmap None
+  in
   let rec go () =
     match Hw.Phys_mem.alloc_opt pvm.mem with
     | Some frame -> frame
@@ -173,6 +202,17 @@ let alloc_frame pvm =
       | Some victim ->
         evict pvm victim;
         go ()
-      | None -> raise Gmi.No_memory)
+      | None -> (
+        (* Under contention every unwired page can be mid-transfer at
+           once; each such transfer either frees a frame (eviction) or
+           makes its page evictable again when it completes, so this
+           is pressure, not exhaustion: block until one finishes and
+           retry.  (Not a plain yield — the clock only advances once
+           this fibre genuinely sleeps.) *)
+        match transfer_in_flight () with
+        | Some cond ->
+          Hw.Engine.Cond.wait cond;
+          go ()
+        | None -> raise Gmi.No_memory))
   in
   go ()

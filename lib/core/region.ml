@@ -11,23 +11,12 @@ type status = {
   s_locked : bool;
 }
 
-let overlaps (ctx : context) ~addr ~size =
-  List.exists
-    (fun r -> addr < r.r_addr + r.r_size && r.r_addr < addr + size)
-    ctx.ctx_regions
-
 (* regionCreate: map a cache window into a context.  Mapping is lazy —
    the cost is independent of the region size (paper §5.3.2). *)
 let create pvm (ctx : context) ~addr ~size ~prot (cache : cache) ~offset =
-  check_context_alive ctx;
-  check_cache_alive cache;
-  if size <= 0 then invalid_arg "regionCreate: size <= 0";
-  if
-    not
-      (is_page_aligned pvm addr && is_page_aligned pvm size
-     && is_page_aligned pvm offset)
-  then invalid_arg "regionCreate: unaligned address, size or offset";
-  if overlaps ctx ~addr ~size then invalid_arg "regionCreate: regions overlap";
+  Region_check.validate ~page_size:(page_size pvm) ~ctx_alive:ctx.ctx_alive
+    ~cache_alive:cache.c_alive ~addr ~size ~offset
+    ~existing:(List.map (fun r -> (r.r_addr, r.r_size)) ctx.ctx_regions);
   charge pvm Hw.Cost.Region_create;
   let region =
     {

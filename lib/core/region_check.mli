@@ -1,0 +1,24 @@
+(** Shared regionCreate argument validation (Table 2), used by every
+    GMI implementation (PVM, minimal, simulator) so malformed requests
+    fail with uniform [Invalid_argument] messages. *)
+
+val validate :
+  page_size:int ->
+  ctx_alive:bool ->
+  cache_alive:bool ->
+  addr:int ->
+  size:int ->
+  offset:int ->
+  existing:(int * int) list ->
+  unit
+(** Reject a regionCreate request whose context or cache is destroyed,
+    whose size is not positive, whose address/size/offset are not
+    page-aligned, or which overlaps an existing region ([existing] is
+    the (addr, size) list of the context's live regions).  Checks run
+    in that order.
+    @raise Invalid_argument with a ["regionCreate: ..."] message. *)
+
+val require_live : what:string -> bool -> unit
+(** [require_live ~what alive] raises
+    [Invalid_argument "regionCreate: <what> destroyed"] when [alive]
+    is false. *)

@@ -52,27 +52,36 @@ let deliver pvm (cache : cache) ~offset (bytes : Bytes.t) ~prot ~dirty =
   if Bytes.length bytes mod ps <> 0 then
     invalid_arg "fillUp: data not a whole number of pages";
   let n = Bytes.length bytes / ps in
-  for i = 0 to n - 1 do
-    let off = offset + (i * ps) in
-    let chunk () = Bytes.sub bytes (i * ps) ps in
+  (* Frame allocation is a scheduling point, so the destination probed
+     before it may have changed by insert time (a read-ahead chunk
+     colliding with a concurrent pull, say): re-probe and restart the
+     chunk when the entry moved under us. *)
+  let rec place ~off chunk =
     match Global_map.peek pvm cache ~off with
-    | Some (Sync_stub cond) ->
+    | (Some (Sync_stub _) | None) as before -> (
       let frame = Pager.alloc_frame pvm in
-      Hw.Phys_mem.write frame ~off:0 (chunk ());
-      let page =
-        Install.insert_page pvm cache ~off frame ~pulled_prot:prot
-          ~cow_protected:(History.is_covered cache ~off)
+      let unchanged =
+        match (before, Global_map.peek pvm cache ~off) with
+        | None, None -> true
+        | Some (Sync_stub c), Some (Sync_stub c') -> c == c'
+        | _, _ -> false
       in
-      page.p_dirty <- dirty;
-      Hw.Engine.Cond.broadcast cond
-    | None ->
-      let frame = Pager.alloc_frame pvm in
-      Hw.Phys_mem.write frame ~off:0 (chunk ());
-      let page =
-        Install.insert_page pvm cache ~off frame ~pulled_prot:prot
-          ~cow_protected:(History.is_covered cache ~off)
-      in
-      page.p_dirty <- dirty
+      if not unchanged then begin
+        charge pvm Hw.Cost.Frame_free;
+        Hw.Phys_mem.free pvm.mem frame;
+        place ~off chunk
+      end
+      else begin
+        Hw.Phys_mem.write frame ~off:0 (chunk ());
+        let page =
+          Install.insert_page pvm cache ~off frame ~pulled_prot:prot
+            ~cow_protected:(History.is_covered cache ~off)
+        in
+        page.p_dirty <- dirty;
+        match before with
+        | Some (Sync_stub cond) -> Hw.Engine.Cond.broadcast cond
+        | _ -> ()
+      end)
     | Some (Resident p) ->
       charge pvm Hw.Cost.Bcopy_page;
       Hw.Phys_mem.write p.p_frame ~off:0 (chunk ());
@@ -84,6 +93,11 @@ let deliver pvm (cache : cache) ~offset (bytes : Bytes.t) ~prot ~dirty =
          superseded.  Rare; handled by the higher-level purge before
          copies, so refuse here rather than guess. *)
       invalid_arg "fillUp: offset holds a deferred-copy stub"
+  in
+  for i = 0 to n - 1 do
+    place
+      ~off:(offset + (i * ps))
+      (fun () -> Bytes.sub bytes (i * ps) ps)
   done
 
 (* Pull one page in from the cache's segment (paper §4.1.2): place a
@@ -143,14 +157,24 @@ let pull_in_page pvm (cache : cache) ~off ~prot =
       close false;
       raise e)
 
-(* Allocate a zero-filled page owned by [cache]. *)
-let zero_fill_page pvm (cache : cache) ~off =
+(* Allocate a zero-filled page owned by [cache].  Allocation and the
+   zeroing charge are scheduling points: when a concurrent fibre fills
+   the slot first, settle on its value instead of orphaning it. *)
+let rec zero_fill_page pvm (cache : cache) ~off =
   let frame = Pager.alloc_frame pvm in
   charge pvm Hw.Cost.Bzero_page;
   Hw.Phys_mem.bzero frame;
-  pvm.stats.n_zero_fills <- pvm.stats.n_zero_fills + 1;
-  Install.insert_page pvm cache ~off frame ~pulled_prot:Hw.Prot.all
-    ~cow_protected:(History.is_covered cache ~off)
+  match
+    Install.try_insert_fresh pvm cache ~off frame ~pulled_prot:Hw.Prot.all
+      ~cow_protected:(History.is_covered cache ~off)
+  with
+  | Some page ->
+    pvm.stats.n_zero_fills <- pvm.stats.n_zero_fills + 1;
+    page
+  | None -> (
+    match Global_map.wait_not_in_transit pvm cache ~off with
+    | Some (Resident p) -> p
+    | _ -> zero_fill_page pvm cache ~off)
 
 (* The resident page holding the logical value of (cache, off),
    pulling from a segment if necessary; [`Zero] when the value is

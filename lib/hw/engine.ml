@@ -1,20 +1,25 @@
 type task = {
   time : Sim_time.t;
   seq : int;
+  key : int; (* tie-break rank among equal-time tasks *)
   daemon : bool;
   fib : int;
   run : unit -> unit;
 }
 
+type tie_break = Fifo | Seeded of int
+
 type t = {
   mutable now : Sim_time.t;
   mutable seq : int;
   queue : task Pqueue.t;
+  tie : tie_break;
   mutable live : int; (* non-daemon fibres spawned and not yet finished *)
   mutable live_tasks : int; (* non-daemon tasks waiting in the queue *)
   mutable cur_fib : int; (* fibre the running task belongs to *)
   mutable next_fib : int;
   mutable tracer : Obs.Trace.t;
+  mutable on_event : unit -> unit;
 }
 
 exception Deadlock of int
@@ -23,20 +28,33 @@ type _ Effect.t +=
   | Sleep : Sim_time.span -> unit Effect.t
   | Suspend : ((unit -> unit) -> unit) -> unit Effect.t
 
+(* Tasks at distinct times run in time order; equal-time tasks run by
+   [key], then by [seq] so the order is total.  Under [Fifo] the key
+   IS the sequence number (spawn/wake order, the historical
+   behaviour); under [Seeded] it is a deterministic hash of the
+   sequence number, legally permuting equal-time tasks: a fibre has at
+   most one queued task (one-shot continuations), so program order
+   within a fibre is unaffected, and only genuinely concurrent
+   work is reordered. *)
 let cmp_task a b =
   let c = compare a.time b.time in
-  if c <> 0 then c else compare a.seq b.seq
+  if c <> 0 then c
+  else
+    let c = compare a.key b.key in
+    if c <> 0 then c else compare a.seq b.seq
 
-let create () =
+let create ?(tie_break = Fifo) () =
   {
     now = Sim_time.zero;
     seq = 0;
     queue = Pqueue.create ~cmp:cmp_task;
+    tie = tie_break;
     live = 0;
     live_tasks = 0;
     cur_fib = 0;
     next_fib = 1;
     tracer = Obs.Trace.null;
+    on_event = ignore;
   }
 
 let now eng = eng.now
@@ -48,11 +66,18 @@ let set_tracer eng tr =
   Obs.Trace.set_clock tr (fun () -> eng.now);
   Obs.Trace.set_fibre tr (fun () -> eng.cur_fib)
 
+let set_event_hook eng hook = eng.on_event <- hook
+
 let schedule eng ~daemon ~fib time run =
   let seq = eng.seq in
   eng.seq <- seq + 1;
+  let key =
+    match eng.tie with
+    | Fifo -> seq
+    | Seeded seed -> Hashtbl.seeded_hash seed seq
+  in
   if not daemon then eng.live_tasks <- eng.live_tasks + 1;
-  Pqueue.push eng.queue { time; seq; daemon; fib; run }
+  Pqueue.push eng.queue { time; seq; key; daemon; fib; run }
 
 let sleep span =
   if span < 0 then invalid_arg "Engine.sleep: negative span";
@@ -121,6 +146,7 @@ let run eng main =
       eng.cur_fib <- task.fib;
       if not task.daemon then eng.live_tasks <- eng.live_tasks - 1;
       task.run ();
+      eng.on_event ();
       loop ()
     end
   in

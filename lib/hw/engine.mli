@@ -16,7 +16,17 @@ exception Deadlock of int
 (** Raised by {!run} when the event queue drains while fibres are
     still suspended; carries the number of stuck fibres. *)
 
-val create : unit -> t
+type tie_break =
+  | Fifo  (** equal-time tasks run in spawn/wake order (the default) *)
+  | Seeded of int
+      (** equal-time tasks run in a deterministic pseudo-random order
+          derived from the seed: the schedule-perturbation harness.
+          Legal because a fibre has at most one queued task at a time
+          (one-shot continuations), so program order within each fibre
+          is preserved; only genuinely concurrent work is permuted.
+          The same seed always produces the same schedule. *)
+
+val create : ?tie_break:tie_break -> unit -> t
 
 val now : t -> Sim_time.t
 (** Current simulated time. *)
@@ -35,6 +45,13 @@ val tracer : t -> Obs.Trace.t
 val set_tracer : t -> Obs.Trace.t -> unit
 (** Attach a tracing sink, wiring its clock to this engine's simulated
     time and its fibre source to {!current_fibre}. *)
+
+val set_event_hook : t -> (unit -> unit) -> unit
+(** Install a callback invoked after every completed engine event
+    (task execution) — between tasks, never inside fibre context, so
+    it must not perform effects.  Used by the sanitizer's slow mode to
+    sweep invariants after every scheduling step; defaults to a
+    no-op.  Exceptions raised by the hook propagate out of {!run}. *)
 
 val spawn : t -> ?name:string -> ?daemon:bool -> (unit -> unit) -> unit
 (** [spawn eng f] schedules fibre [f] to start at the current

@@ -94,16 +94,10 @@ let ensure_page t (cache : cache) ~off =
     frame
 
 let region_create t (ctx : context) ~addr ~size ~prot cache ~offset =
-  if not ctx.ctx_alive then invalid_arg "minimal: context destroyed";
-  if not cache.c_alive then invalid_arg "minimal: cache destroyed";
+  Core.Region_check.validate ~page_size:(page_size t) ~ctx_alive:ctx.ctx_alive
+    ~cache_alive:cache.c_alive ~addr ~size ~offset
+    ~existing:(List.map (fun r -> (r.r_addr, r.r_size)) ctx.ctx_regions);
   let ps = page_size t in
-  if addr mod ps <> 0 || size mod ps <> 0 || offset mod ps <> 0 then
-    invalid_arg "regionCreate: unaligned address, size or offset";
-  if
-    List.exists
-      (fun r -> addr < r.r_addr + r.r_size && r.r_addr < addr + size)
-      ctx.ctx_regions
-  then invalid_arg "regionCreate: regions overlap";
   charge t.cost.t_region_create;
   let region =
     { r_ctx = ctx; r_addr = addr; r_size = size; r_prot = prot;

@@ -16,6 +16,44 @@ type response =
 type rpc = { req : request; reply : response Port.t }
 type server = { port : rpc Port.t; mutable served : int }
 
+exception Bad_reply of { endpoint : string; request : string; got : string }
+
+let request_constructor = function
+  | Read _ -> "Read"
+  | Write _ -> "Write"
+  | Truncate _ -> "Truncate"
+  | Size _ -> "Size"
+  | Create_temporary -> "Create_temporary"
+  | Destroy _ -> "Destroy"
+
+let response_constructor = function
+  | Data _ -> "Data"
+  | Done -> "Done"
+  | Sized _ -> "Sized"
+  | Key _ -> "Key"
+  | Failed _ -> "Failed"
+
+let () =
+  Printexc.register_printer (function
+    | Bad_reply { endpoint; request; got } ->
+      Some
+        (Printf.sprintf
+           "Remote_mapper.Bad_reply(%s: request %s answered with %s)" endpoint
+           request got)
+    | _ -> None)
+
+(* A protocol violation: the server answered [req] with a constructor
+   the client cannot interpret.  Carries the mapper port name so a
+   multi-mapper site can tell which endpoint misbehaved. *)
+let bad_reply server req got =
+  raise
+    (Bad_reply
+       {
+         endpoint = Port.name server.port;
+         request = request_constructor req;
+         got = response_constructor got;
+       })
+
 let requests_served server = server.served
 
 let serve (site : Site.t) ?(latency = 0) (mapper : Seg.Mapper.t) =
@@ -62,27 +100,29 @@ let call server req =
   | other -> other
 
 let client ~name server =
-  let data = function Data d -> d | _ -> failwith "mapper rpc: bad reply" in
-  let done_ = function Done -> () | _ -> failwith "mapper rpc: bad reply" in
+  let data req =
+    match call server req with Data d -> d | other -> bad_reply server req other
+  in
+  let done_ req =
+    match call server req with Done -> () | other -> bad_reply server req other
+  in
   {
     Seg.Mapper.name;
     read =
-      (fun ~key ~offset ~size ->
-        data (call server (Read { key; offset; size })));
-    write =
-      (fun ~key ~offset d ->
-        done_ (call server (Write { key; offset; data = d })));
-    truncate = (fun ~key ~size -> done_ (call server (Truncate { key; size })));
+      (fun ~key ~offset ~size -> data (Read { key; offset; size }));
+    write = (fun ~key ~offset d -> done_ (Write { key; offset; data = d }));
+    truncate = (fun ~key ~size -> done_ (Truncate { key; size }));
     segment_size =
       (fun ~key ->
-        match call server (Size { key }) with
+        let req = Size { key } in
+        match call server req with
         | Sized n -> n
-        | _ -> failwith "mapper rpc: bad reply");
+        | other -> bad_reply server req other);
     create_temporary =
       Some
         (fun () ->
           match call server Create_temporary with
           | Key k -> k
-          | _ -> failwith "mapper rpc: bad reply");
-    destroy_segment = (fun ~key -> done_ (call server (Destroy { key })));
+          | other -> bad_reply server Create_temporary other);
+    destroy_segment = (fun ~key -> done_ (Destroy { key }));
   }

@@ -15,6 +15,12 @@
 
 type server
 
+exception Bad_reply of { endpoint : string; request : string; got : string }
+(** The server answered a request with a response constructor the
+    protocol does not pair with it (e.g. [Sized] to a [Read]):
+    [endpoint] is the mapper port name, [request]/[got] the
+    constructor names.  A {!Printexc} printer is registered. *)
+
 val serve :
   Site.t -> ?latency:Hw.Sim_time.span -> Seg.Mapper.t -> server
 (** Expose [mapper] behind a port; each request costs [latency]

@@ -59,16 +59,9 @@ let ensure t (cache : cache) ~off =
   end
 
 let region_create t (ctx : context) ~addr ~size ~prot cache ~offset =
-  if not ctx.ctx_alive then invalid_arg "simulator: context destroyed";
-  if not cache.c_alive then invalid_arg "simulator: cache destroyed";
-  if addr mod t.page_size <> 0 || size mod t.page_size <> 0
-     || offset mod t.page_size <> 0
-  then invalid_arg "regionCreate: unaligned address, size or offset";
-  if
-    List.exists
-      (fun r -> addr < r.r_addr + r.r_size && r.r_addr < addr + size)
-      ctx.ctx_regions
-  then invalid_arg "regionCreate: regions overlap";
+  Core.Region_check.validate ~page_size:t.page_size ~ctx_alive:ctx.ctx_alive
+    ~cache_alive:cache.c_alive ~addr ~size ~offset
+    ~existing:(List.map (fun r -> (r.r_addr, r.r_size)) ctx.ctx_regions);
   let region =
     { r_ctx = ctx; r_addr = addr; r_size = size; r_prot = prot;
       r_cache = cache; r_offset = offset; r_alive = true }

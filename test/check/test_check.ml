@@ -1,0 +1,280 @@
+(* The checker checked: a healthy PVM must sweep clean, and seeded
+   corruption of each major structure must be reported — a sanitizer
+   that never fires is indistinguishable from no sanitizer.  Plus the
+   blocking-discipline trace analysis on synthetic traces, and the
+   determinism contract of the seeded tie-break. *)
+
+let ps = 8192
+
+let in_sim f =
+  let engine = Hw.Engine.create () in
+  Hw.Engine.run_fn engine (fun () -> f engine)
+
+(* A small populated PVM: two caches, a history copy, one resolved
+   write (so stubs, history pages and MMU mappings all exist). *)
+let build engine =
+  let pvm = Core.Pvm.create ~frames:64 ~engine () in
+  let ctx = Core.Context.create pvm in
+  let src = Core.Cache.create pvm () in
+  let dst = Core.Cache.create pvm () in
+  let _ =
+    Core.Region.create pvm ctx ~addr:0 ~size:(4 * ps)
+      ~prot:Hw.Prot.read_write src ~offset:0
+  in
+  let _ =
+    Core.Region.create pvm ctx ~addr:(1024 * ps) ~size:(4 * ps)
+      ~prot:Hw.Prot.read_write dst ~offset:0
+  in
+  Core.Pvm.write pvm ctx ~addr:0 (Bytes.make (2 * ps) 's');
+  Core.Cache.copy pvm ~strategy:`History ~src ~src_off:0 ~dst ~dst_off:0
+    ~size:(4 * ps) ();
+  Core.Pvm.write pvm ctx ~addr:0 (Bytes.make 8 'w');
+  Core.Pvm.write pvm ctx ~addr:(1024 * ps) (Bytes.make 8 'd');
+  (pvm, ctx)
+
+let rules_of violations =
+  List.sort_uniq compare
+    (List.map (fun v -> v.Check.Sanitizer.rule) violations)
+
+let test_clean_state_passes () =
+  in_sim (fun engine ->
+      let pvm, _ = build engine in
+      Check.Sanitizer.assert_ok pvm;
+      Alcotest.(check (list string)) "no violations" [] [])
+
+let expect_rule pvm rule =
+  let vs = Check.Sanitizer.run pvm in
+  if not (List.mem rule (rules_of vs)) then
+    Alcotest.failf "expected a %S violation, sweep found: %s" rule
+      (String.concat "; "
+         (List.map
+            (Format.asprintf "%a" Check.Sanitizer.pp_violation)
+            vs));
+  (* and the raising entry point must fire too *)
+  match Check.Sanitizer.assert_ok pvm with
+  | () -> Alcotest.fail "assert_ok accepted a corrupted state"
+  | exception Check.Sanitizer.Failed _ -> ()
+
+(* Corruption 1: remove a resident page's global-map entry — the
+   descriptor bijection of §4.1.1 is broken. *)
+let test_catches_gmap_corruption () =
+  in_sim (fun engine ->
+      let pvm, _ = build engine in
+      let page = List.hd (Core.Inspect.pages pvm) in
+      Hashtbl.remove pvm.Core.Types.gmap
+        (page.Core.Types.p_cache.Core.Types.c_id, page.Core.Types.p_offset);
+      expect_rule pvm "gmap")
+
+(* Corruption 2: hand the MMU a writable translation for a page the
+   descriptors say is read-protected (simulated pmap bug). *)
+let test_catches_mmu_corruption () =
+  in_sim (fun engine ->
+      let pvm, ctx = build engine in
+      let cow_page =
+        List.find
+          (fun p -> p.Core.Types.p_cow_protected)
+          (Core.Inspect.pages pvm)
+      in
+      Hw.Mmu.map ctx.Core.Types.ctx_space
+        ~vpn:(cow_page.Core.Types.p_offset / ps)
+        cow_page.Core.Types.p_frame Hw.Prot.read_write;
+      expect_rule pvm "mmu")
+
+(* Corruption 3: steal a page out of the reclaim queue — the FIFO
+   page-out policy would never see it again. *)
+let test_catches_reclaim_corruption () =
+  in_sim (fun engine ->
+      let pvm, _ = build engine in
+      pvm.Core.Types.reclaim <- List.tl pvm.Core.Types.reclaim;
+      expect_rule pvm "reclaim")
+
+(* Corruption 4: mark a mapped cache as a hidden history node. *)
+let test_catches_zombie_corruption () =
+  in_sim (fun engine ->
+      let pvm, _ = build engine in
+      let mapped =
+        List.find
+          (fun c -> c.Core.Types.c_mappings <> [])
+          pvm.Core.Types.caches
+      in
+      mapped.Core.Types.c_zombie <- true;
+      expect_rule pvm "zombie")
+
+(* A transit entry is a strict-mode violation only: the structural
+   subset must accept it (it is legal between engine events). *)
+let test_transit_is_strict_only () =
+  in_sim (fun engine ->
+      let pvm, _ = build engine in
+      let cache = List.hd pvm.Core.Types.caches in
+      Hashtbl.replace pvm.Core.Types.gmap
+        (cache.Core.Types.c_id, 512 * ps)
+        (Core.Types.Sync_stub (Hw.Engine.Cond.create ()));
+      (match Check.Sanitizer.run ~strict:false pvm with
+      | [] -> ()
+      | vs ->
+        Alcotest.failf "structural sweep rejected an in-transit entry: %s"
+          (String.concat "; "
+             (List.map
+                (Format.asprintf "%a" Check.Sanitizer.pp_violation)
+                vs)));
+      expect_rule pvm "transit")
+
+(* --- blocking-discipline analysis on synthetic traces ------------ *)
+
+(* Build a trace by hand: a pullIn window on fibre 1 over [t0,t1], and
+   a fault on fibre 2.  The engine is not involved; clock and fibre
+   are injected closures. *)
+let make_trace spans =
+  let tr = Obs.Trace.create () in
+  Obs.Trace.enable tr;
+  let now = ref 0 and fib = ref 0 in
+  Obs.Trace.set_clock tr (fun () -> !now);
+  Obs.Trace.set_fibre tr (fun () -> !fib);
+  List.iter
+    (fun (f, t_begin, t_end, name, cat, args) ->
+      fib := f;
+      now := t_begin;
+      Obs.Trace.span_begin tr ~cat name;
+      now := t_end;
+      Obs.Trace.span_end ~args tr)
+    spans;
+  tr
+
+let transit ~fib ~t0 ~t1 name =
+  ( fib,
+    t0,
+    t1,
+    name,
+    "pager",
+    [ ("cache", Obs.Trace.Int 7); ("off", Obs.Trace.Int 0) ] )
+
+let fault ~fib ~t0 ~t1 =
+  ( fib,
+    t0,
+    t1,
+    "fault",
+    "vm",
+    [ ("cache", Obs.Trace.Int 7); ("off", Obs.Trace.Int 0) ] )
+
+let test_blocking_violation_detected () =
+  let tr =
+    make_trace
+      [ transit ~fib:1 ~t0:100 ~t1:500 "pullIn"; fault ~fib:2 ~t0:200 ~t1:300 ]
+  in
+  match Check.Blocking.analyze tr with
+  | [ v ] ->
+    Alcotest.(check int) "intruder" 2 v.Check.Blocking.intruder_fib;
+    Alcotest.(check int) "transit fibre" 1 v.Check.Blocking.transit_fib;
+    Alcotest.(check string) "kind" "pullIn" v.Check.Blocking.transit
+  | vs -> Alcotest.failf "expected exactly one violation, got %d" (List.length vs)
+
+let test_blocked_fault_not_flagged () =
+  (* a correctly blocked fault resumes exactly at the transit's end *)
+  let tr =
+    make_trace
+      [ transit ~fib:1 ~t0:100 ~t1:500 "pullIn"; fault ~fib:2 ~t0:200 ~t1:500 ]
+  in
+  Alcotest.(check int) "no violation" 0 (List.length (Check.Blocking.analyze tr))
+
+let test_own_fibre_not_flagged () =
+  (* the pulling fibre's own enclosing fault span is legal *)
+  let tr =
+    make_trace
+      [ transit ~fib:1 ~t0:100 ~t1:500 "pullIn"; fault ~fib:1 ~t0:150 ~t1:450 ]
+  in
+  Alcotest.(check int) "no violation" 0 (List.length (Check.Blocking.analyze tr))
+
+let test_clean_evict_opens_no_window () =
+  let clean_evict =
+    ( 1,
+      100,
+      500,
+      "evict",
+      "pager",
+      [
+        ("cache", Obs.Trace.Int 7);
+        ("off", Obs.Trace.Int 0);
+        ("dirty", Obs.Trace.Str "false");
+      ] )
+  in
+  let tr = make_trace [ clean_evict; fault ~fib:2 ~t0:200 ~t1:300 ] in
+  Alcotest.(check int) "no violation" 0 (List.length (Check.Blocking.analyze tr))
+
+(* --- seeded tie-break ------------------------------------------- *)
+
+(* Two equal-time fibres appending to a list: FIFO gives program
+   order; a seed may permute it; the same seed must reproduce the
+   same order exactly. *)
+let order_under tie =
+  let engine = Hw.Engine.create ~tie_break:tie () in
+  let order = ref [] in
+  Hw.Engine.run_fn engine (fun () ->
+      for i = 1 to 8 do
+        Hw.Engine.spawn engine (fun () ->
+            Hw.Engine.sleep 10;
+            order := i :: !order)
+      done;
+      Hw.Engine.sleep 20);
+  List.rev !order
+
+let test_seeded_schedules_deterministic () =
+  Alcotest.(check (list int))
+    "fifo = program order" [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+    (order_under Hw.Engine.Fifo);
+  let a = order_under (Hw.Engine.Seeded 42) in
+  let b = order_under (Hw.Engine.Seeded 42) in
+  Alcotest.(check (list int)) "same seed, same schedule" a b;
+  let distinct =
+    List.exists
+      (fun seed -> order_under (Hw.Engine.Seeded seed) <> order_under Hw.Engine.Fifo)
+      [ 1; 2; 3; 4; 5 ]
+  in
+  Alcotest.(check bool) "some seed permutes the tie" true distinct
+
+let test_event_hook_runs () =
+  let engine = Hw.Engine.create () in
+  let events = ref 0 in
+  Hw.Engine.set_event_hook engine (fun () -> incr events);
+  Hw.Engine.run_fn engine (fun () ->
+      Hw.Engine.sleep 5;
+      Hw.Engine.sleep 5);
+  Alcotest.(check bool)
+    (Printf.sprintf "hook saw every event (%d)" !events)
+    true (!events >= 3)
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "sanitizer",
+        [
+          Alcotest.test_case "clean state passes" `Quick
+            test_clean_state_passes;
+          Alcotest.test_case "catches gmap corruption" `Quick
+            test_catches_gmap_corruption;
+          Alcotest.test_case "catches mmu corruption" `Quick
+            test_catches_mmu_corruption;
+          Alcotest.test_case "catches reclaim corruption" `Quick
+            test_catches_reclaim_corruption;
+          Alcotest.test_case "catches zombie corruption" `Quick
+            test_catches_zombie_corruption;
+          Alcotest.test_case "transit is strict-only" `Quick
+            test_transit_is_strict_only;
+        ] );
+      ( "blocking",
+        [
+          Alcotest.test_case "violation detected" `Quick
+            test_blocking_violation_detected;
+          Alcotest.test_case "blocked fault not flagged" `Quick
+            test_blocked_fault_not_flagged;
+          Alcotest.test_case "own fibre not flagged" `Quick
+            test_own_fibre_not_flagged;
+          Alcotest.test_case "clean evict opens no window" `Quick
+            test_clean_evict_opens_no_window;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "seeded schedules deterministic" `Quick
+            test_seeded_schedules_deterministic;
+          Alcotest.test_case "event hook runs" `Quick test_event_hook_runs;
+        ] );
+    ]

@@ -119,11 +119,21 @@ let run_ops ?(teardown = false) ~frames ~swap ops =
             Array.fill valid.(s) 0 n_pages false;
             Core.Cache.move pvm ~src:caches.(s) ~src_off:0 ~dst:caches.(d)
               ~dst_off:0 ~size:(n_pages * ps) ());
-          match Core.Pvm.check_invariant pvm with
+          (match Core.Pvm.check_invariant pvm with
           | [] -> ()
           | errs ->
             QCheck.Test.fail_reportf "invariant broken after %s: %s" (pp_op op)
-              (String.concat "; " errs))
+              (String.concat "; " errs));
+          (* the whole-state catalogue, strict: single-fibre runs are
+             quiescent between operations *)
+          match Check.Sanitizer.run pvm with
+          | [] -> ()
+          | vs ->
+            QCheck.Test.fail_reportf "sanitizer after %s: %s" (pp_op op)
+              (String.concat "; "
+                 (List.map
+                    (Format.asprintf "%a" Check.Sanitizer.pp_violation)
+                    vs)))
         ops;
       (* Compare every defined page with the oracle, bit for bit. *)
       Array.iteri
@@ -162,6 +172,12 @@ let run_ops ?(teardown = false) ~frames ~swap ops =
           QCheck.Test.fail_reportf "%d frames leaked after [%s]" used
             (String.concat "; " (List.map pp_op ops))
       end;
+      (match Check.Sanitizer.run pvm with
+      | [] -> ()
+      | vs ->
+        QCheck.Test.fail_reportf "final sanitizer sweep: %s"
+          (String.concat "; "
+             (List.map (Format.asprintf "%a" Check.Sanitizer.pp_violation) vs)));
       true)
 
 let prop_plenty_of_memory =

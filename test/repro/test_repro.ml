@@ -36,8 +36,12 @@ let zero_fill_pvm ~size ~pages =
       for p = 0 to pages - 1 do
         Core.Pvm.touch pvm ctx ~addr:(p * ps) ~access:`Write
       done;
+      (* read-only whole-state sweeps: charge nothing, so they do not
+         perturb the measured cell *)
+      Check.Sanitizer.assert_ok ~label:"table6 populated" pvm;
       Core.Region.destroy pvm region;
-      Core.Cache.destroy pvm cache)
+      Core.Cache.destroy pvm cache;
+      Check.Sanitizer.assert_ok ~label:"table6 torn down" pvm)
 
 let zero_fill_mach ~size ~pages =
   sim_ms (fun engine ->
@@ -98,8 +102,10 @@ let cow_pvm ~size ~pages =
       for p = 0 to pages - 1 do
         Core.Pvm.touch pvm ctx ~addr:(p * ps) ~access:`Write
       done;
+      Check.Sanitizer.assert_ok ~label:"table7 diverged" pvm;
       Core.Region.destroy pvm region;
       Core.Cache.destroy pvm copy;
+      Check.Sanitizer.assert_ok ~label:"table7 torn down" pvm;
       float_of_int (Hw.Engine.now engine - t0) /. 1e6)
 
 let test_table7 () =
