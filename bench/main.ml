@@ -9,9 +9,9 @@
 let usage () =
   prerr_endline
     "usage: main.exe [--metrics-out FILE] [--tie-seed N] \
-     [all|table5|table6|table7|prelim|derived|fig3|ablation-chains|\
-     ablation-segcache|ablation-pervpage|ablation-ipc|ablation-dsm|macro|\
-     bechamel]";
+     [all|table5|table6|table7|prelim|derived|primitives|fig3|\
+     ablation-chains|ablation-segcache|ablation-pervpage|ablation-ipc|\
+     ablation-dsm|macro|bechamel]";
   exit 2
 
 let run = function
@@ -20,6 +20,7 @@ let run = function
   | "table7" -> Tables.table7 ()
   | "prelim" -> Tables.prelim ()
   | "derived" -> Tables.derived ()
+  | "primitives" -> Tables.primitives ()
   | "fig3" -> Fig3.run ()
   | "ablation-chains" -> Ablations.ablation_chains ()
   | "ablation-segcache" -> Ablations.ablation_segcache ()
@@ -34,6 +35,7 @@ let run = function
     Tables.table6 ();
     Tables.table7 ();
     Tables.derived ();
+    Tables.primitives ();
     Fig3.run ();
     Ablations.ablation_chains ();
     Ablations.ablation_segcache ();

@@ -308,7 +308,7 @@ let trace scenario out =
   Obs.Trace.enable tr;
   let _pvms = Hw.Engine.run_fn engine (fun () -> body engine) in
   let json = Obs.Trace.to_chrome_json tr in
-  match out with
+  (match out with
   | None -> print_endline json
   | Some file ->
     (try
@@ -321,9 +321,14 @@ let trace scenario out =
     Printf.printf
       "wrote %s: %d events (%d dropped); load in ui.perfetto.dev or \
        chrome://tracing\n"
-      file (Obs.Trace.length tr) (Obs.Trace.dropped tr)
+      file (Obs.Trace.length tr) (Obs.Trace.dropped tr));
+  if Obs.Trace.dropped tr > 0 then
+    Printf.eprintf
+      "chorus trace: warning: the ring buffer overwrote %d events; the \
+       trace is only a suffix of the run\n"
+      (Obs.Trace.dropped tr)
 
-let stats scenario =
+let stats scenario json_out =
   let body = scenario_body scenario in
   let engine = Hw.Engine.create () in
   let pvms = Hw.Engine.run_fn engine (fun () -> body engine) in
@@ -332,7 +337,240 @@ let stats scenario =
     (fun i pvm ->
       if many then Format.printf "=== pvm %d ===@." i;
       Format.printf "%a@." Obs.Metrics.pp (Core.Pvm.metrics pvm))
-    pvms
+    pvms;
+  match json_out with
+  | None -> ()
+  | Some file ->
+    let doc =
+      Printf.sprintf "{\"schema\":\"chorus-stats/1\",\"pvms\":[%s]}\n"
+        (String.concat ","
+           (List.map (fun pvm -> Obs.Metrics.to_json (Core.Pvm.metrics pvm))
+              pvms))
+    in
+    (try Out_channel.with_open_text file (fun oc -> output_string oc doc)
+     with Sys_error msg ->
+       Printf.eprintf "chorus stats: %s\n" msg;
+       exit 1);
+    Printf.printf "wrote %s\n" file
+
+(* chorus profile SCENARIO: capture a trace of the scenario, fold it
+   into the hierarchical cost tree and print the attribution report —
+   including the derived §5.3.2 decomposition and an Inspect-based
+   residency/pressure snapshot of every PVM the scenario built.
+
+   The synthetic scenario [decomp] replays the Table 6 / Table 7 cell
+   shapes (1024 Kb region, 128 touched pages) under tracing for BOTH
+   implementations — Chorus PVM and the Mach-style shadow baseline, on
+   separate engines so their charges cannot mix — and checks each
+   derived decomposition against the paper's published numbers. *)
+
+let write_file ~cmd file contents =
+  try Out_channel.with_open_text file (fun oc -> output_string oc contents)
+  with Sys_error msg ->
+    Printf.eprintf "chorus %s: %s\n" cmd msg;
+    exit 1
+
+let run_traced f =
+  let tr = Obs.Trace.create () in
+  let engine = Hw.Engine.create () in
+  Hw.Engine.set_tracer engine tr;
+  Obs.Trace.enable tr;
+  let r = Hw.Engine.run_fn engine (fun () -> f engine) in
+  (r, Obs.Profile.of_trace tr)
+
+(* One Table-6 cycle (zero-fill 128 pages of a 1024 Kb region) then
+   one Table-7 cycle (deferred copy, 128 source pages really copied),
+   everything torn down so teardown frees balance fault-time
+   allocations — the shapes bench/tables.ml measures. *)
+let decomp_pages = 128
+
+let decomp_size = 1024 * 1024
+
+let decomp_chorus engine =
+  let size = decomp_size and pages = decomp_pages in
+  let pvm = Core.Pvm.create ~frames:600 ~engine () in
+  let ctx = Core.Context.create pvm in
+  let cache = Core.Cache.create pvm () in
+  let region =
+    Core.Region.create pvm ctx ~addr:0 ~size ~prot:Hw.Prot.read_write cache
+      ~offset:0
+  in
+  for p = 0 to pages - 1 do
+    Core.Pvm.touch pvm ctx ~addr:(p * ps) ~access:`Write
+  done;
+  Core.Region.destroy pvm region;
+  Core.Cache.destroy pvm cache;
+  let src = Core.Cache.create pvm () in
+  let src_region =
+    Core.Region.create pvm ctx ~addr:0 ~size ~prot:Hw.Prot.read_write src
+      ~offset:0
+  in
+  for p = 0 to (size / ps) - 1 do
+    Core.Pvm.touch pvm ctx ~addr:(p * ps) ~access:`Write
+  done;
+  let copy = Core.Cache.create pvm () in
+  Core.Cache.copy pvm ~strategy:`History ~src ~src_off:0 ~dst:copy ~dst_off:0
+    ~size ();
+  let copy_region =
+    Core.Region.create pvm ctx ~addr:0x4000_0000 ~size
+      ~prot:Hw.Prot.read_write copy ~offset:0
+  in
+  for p = 0 to pages - 1 do
+    Core.Pvm.touch pvm ctx ~addr:(p * ps) ~access:`Write
+  done;
+  Core.Region.destroy pvm copy_region;
+  Core.Cache.destroy pvm copy;
+  Core.Region.destroy pvm src_region;
+  Core.Cache.destroy pvm src
+
+let decomp_mach engine =
+  let size = decomp_size and pages = decomp_pages in
+  let vm = Shadow.Shadow_vm.create ~frames:900 ~engine () in
+  let sp = Shadow.Shadow_vm.space_create vm in
+  let e =
+    Shadow.Shadow_vm.allocate vm sp ~addr:0 ~size ~prot:Hw.Prot.read_write
+  in
+  for p = 0 to pages - 1 do
+    Shadow.Shadow_vm.touch vm sp ~addr:(p * ps) ~access:`Write
+  done;
+  Shadow.Shadow_vm.entry_destroy vm e;
+  let src =
+    Shadow.Shadow_vm.allocate vm sp ~addr:0 ~size ~prot:Hw.Prot.read_write
+  in
+  for p = 0 to (size / ps) - 1 do
+    Shadow.Shadow_vm.touch vm sp ~addr:(p * ps) ~access:`Write
+  done;
+  let copy =
+    Shadow.Shadow_vm.copy_entry vm src ~dst_space:sp ~dst_addr:0x4000_0000
+  in
+  for p = 0 to pages - 1 do
+    Shadow.Shadow_vm.touch vm sp ~addr:(p * ps) ~access:`Write
+  done;
+  Shadow.Shadow_vm.entry_destroy vm copy;
+  Shadow.Shadow_vm.entry_destroy vm src
+
+(* The paper's §5.3.2 per-page / per-copy overheads (ms), including
+   the Mach equivalents recomputed from Tables 6/7 by the paper's own
+   formulas: demand = (t(1024K,128) - t(1024K,0))/128 - bzero;
+   cow = (c(1024K,128) - c(1024K,0))/128 - bcopy;
+   tree = c(8K,0) - z(8K,0); protect = (c(1024K,0) - c(8K,0))/127. *)
+let paper_chorus =
+  [ ("demand-alloc", 0.270); ("cow", 0.310); ("tree-setup", 0.030);
+    ("protect", 0.016) ]
+
+let paper_mach =
+  [ ("demand-alloc", 0.5277); ("cow", 0.5792); ("tree-setup", 1.130);
+    ("protect", 0.0030) ]
+
+let check_derived label (d : Obs.Profile.derived) paper =
+  Format.printf "@.%s — derived vs paper (§5.3.2):@." label;
+  Format.printf
+    "  %d zero-fill faults, %d COW faults, %d copies, teardown share %.4f \
+     ms/frame@."
+    d.Obs.Profile.zero_fill_faults d.cow_faults d.copies
+    (d.teardown_share_ns /. 1e6);
+  let worst = ref 0.0 in
+  let row name per measured =
+    let paper_ms = List.assoc name paper in
+    match measured with
+    | None -> Format.printf "  %-14s (not exercised; paper %.4f)@." name paper_ms
+    | Some ns ->
+      let ms = ns /. 1e6 in
+      let dev = (ms -. paper_ms) /. paper_ms *. 100. in
+      if Float.abs dev > !worst then worst := Float.abs dev;
+      Format.printf "  %-14s %8.4f ms/%-5s paper %8.4f   %+6.1f%%@." name ms
+        per paper_ms dev
+  in
+  row "demand-alloc" "page" d.demand_ns;
+  row "cow" "page" d.cow_ns;
+  row "tree-setup" "copy" d.tree_setup_ns;
+  row "protect" "page" d.protect_ns;
+  !worst
+
+let profile_decomp folded json_out =
+  let (), chorus_prof = run_traced decomp_chorus in
+  let (), mach_prof = run_traced decomp_mach in
+  Format.printf "=== Chorus (PVM, history objects) ===@.%a@." Obs.Profile.pp
+    chorus_prof;
+  Format.printf "=== Mach baseline (shadow objects) ===@.%a@." Obs.Profile.pp
+    mach_prof;
+  let w1 =
+    check_derived "Chorus" (Obs.Profile.derive chorus_prof) paper_chorus
+  in
+  let w2 =
+    check_derived "Mach baseline" (Obs.Profile.derive mach_prof) paper_mach
+  in
+  Format.printf "@.worst deviation from paper: %.1f%% (threshold 5%%)@."
+    (Float.max w1 w2);
+  Option.iter
+    (fun file ->
+      let prefix tag prof =
+        Obs.Profile.to_folded prof |> String.split_on_char '\n'
+        |> List.filter (fun l -> l <> "")
+        |> List.map (fun l -> tag ^ ";" ^ l)
+      in
+      write_file ~cmd:"profile" file
+        (String.concat "\n"
+           (prefix "chorus" chorus_prof @ prefix "mach" mach_prof)
+        ^ "\n");
+      Printf.printf "wrote %s (folded stacks)\n" file)
+    folded;
+  Option.iter
+    (fun file ->
+      let doc =
+        Obs.Json.Obj
+          [
+            ("schema", Obs.Json.Str "chorus-profile-decomp/1");
+            ("chorus", Obs.Profile.to_json chorus_prof);
+            ("mach", Obs.Profile.to_json mach_prof);
+          ]
+      in
+      write_file ~cmd:"profile" file (Obs.Json.to_string doc ^ "\n");
+      Printf.printf "wrote %s\n" file)
+    json_out;
+  if Float.max w1 w2 > 5.0 then begin
+    Printf.eprintf
+      "chorus profile decomp: derived decomposition deviates more than 5%% \
+       from the paper\n";
+    exit 1
+  end
+
+let profile scenario folded json_out =
+  if String.equal scenario "decomp" then profile_decomp folded json_out
+  else begin
+    let body = scenario_body scenario in
+    let pvms, prof = run_traced (fun engine -> body engine) in
+    Format.printf "%a@." Obs.Profile.pp prof;
+    let residencies = List.map Core.Inspect.residency pvms in
+    let many = List.length residencies > 1 in
+    List.iteri
+      (fun i r ->
+        if many then Format.printf "=== pvm %d ===@." i;
+        Format.printf "%a@." Core.Inspect.pp_residency r)
+      residencies;
+    Option.iter
+      (fun file ->
+        write_file ~cmd:"profile" file (Obs.Profile.to_folded prof);
+        Printf.printf "wrote %s (folded stacks)\n" file)
+      folded;
+    Option.iter
+      (fun file ->
+        let doc =
+          match Obs.Profile.to_json prof with
+          | Obs.Json.Obj fields ->
+            Obs.Json.Obj
+              (fields
+              @ [
+                  ( "residency",
+                    Obs.Json.List
+                      (List.map Core.Inspect.residency_json residencies) );
+                ])
+          | j -> j
+        in
+        write_file ~cmd:"profile" file (Obs.Json.to_string doc ^ "\n");
+        Printf.printf "wrote %s\n" file)
+      json_out
+  end
 
 (* chorus check SCENARIO: run under the sanitizer and the
    schedule-perturbation harness.  One reference run with FIFO
@@ -469,7 +707,47 @@ let cmds =
          ~doc:
            "run a scenario and print its metrics-registry report (counters, \
             fault-latency histograms, per-primitive attribution)")
-      Term.(const stats $ scenario_arg);
+      Term.(
+        const stats $ scenario_arg
+        $ Arg.(
+            value
+            & opt (some string) None
+            & info [ "json" ] ~docv:"FILE"
+                ~doc:
+                  "additionally write the report as machine-readable JSON \
+                   (schema chorus-stats/1) to $(docv)"));
+    Cmd.v
+      (Cmd.info "profile"
+         ~doc:
+           "run a scenario with tracing enabled and print the \
+            cost-attribution profile: hierarchical cost tree (per \
+            fault-resolution kind, per primitive, per cache), counter \
+            series, residency snapshot, and the \xc2\xa75.3.2 overhead \
+            decomposition derived from the measured charges.  The synthetic \
+            scenario $(b,decomp) replays the Table 6/7 cell shapes for both \
+            the Chorus PVM and the Mach-style shadow baseline and checks \
+            the derived decomposition against the paper (exit 1 beyond 5%)")
+      Term.(
+        const profile
+        $ Arg.(
+            required
+            & pos 0 (some string) None
+            & info [] ~docv:"SCENARIO"
+                ~doc:"one of: fig3, fork, dsm, ipc, contend, decomp")
+        $ Arg.(
+            value
+            & opt (some string) None
+            & info [ "folded" ] ~docv:"FILE"
+                ~doc:
+                  "write folded stacks (flamegraph.pl / speedscope \
+                   compatible) to $(docv)")
+        $ Arg.(
+            value
+            & opt (some string) None
+            & info [ "json" ] ~docv:"FILE"
+                ~doc:
+                  "write the profile as JSON (schema chorus-profile/1) to \
+                   $(docv)"));
   ]
 
 let () =

@@ -441,6 +441,22 @@ let copy pvm ?(strategy = `Auto) ?(policy = `Copy_on_write) ~(src : cache)
   if src == dst && ranges_overlap ~a_off:src_off ~b_off:dst_off ~size then
     invalid_arg "copy: overlapping ranges within one cache";
   if size > 0 then begin
+    let tr = Hw.Engine.tracer pvm.engine in
+    let traced = Obs.Trace.enabled tr in
+    if traced then Obs.Trace.span_begin tr ~cat:"vm" "copy";
+    let chosen_name = ref "?" in
+    Fun.protect
+      ~finally:(fun () ->
+        if traced then
+          Obs.Trace.span_end tr
+            ~args:
+              [
+                ("src", Obs.Trace.Int src.c_id);
+                ("dst", Obs.Trace.Int dst.c_id);
+                ("size", Obs.Trace.Int size);
+                ("strategy", Obs.Trace.Str !chosen_name);
+              ])
+    @@ fun () ->
     let aligned = aligned3 pvm src_off dst_off size in
     let chosen =
       match strategy with
@@ -461,6 +477,11 @@ let copy pvm ?(strategy = `Auto) ?(policy = `Copy_on_write) ~(src : cache)
       if chosen <> `Eager && History.reachable pvm ~from:src dst then `Eager
       else chosen
     in
+    chosen_name :=
+      (match chosen with
+      | `Eager -> "eager"
+      | `Per_page -> "per-page"
+      | `History -> "history");
     match chosen with
     | `Eager -> eager_copy pvm ~src ~src_off ~dst ~dst_off ~size
     | `Per_page ->

@@ -55,6 +55,16 @@ let is_covered src ~off = covering_history src ~off <> None
    [h] at [h_off].  The stored page is dirty (its value exists nowhere
    else) and itself read-protected when [h] has a history covering it. *)
 let store_original pvm ~(src_page : page) ~(h : cache) ~h_off =
+  let tr = Hw.Engine.tracer pvm.engine in
+  let traced = Obs.Trace.enabled tr in
+  if traced then Obs.Trace.span_begin tr ~cat:"vm" "history-materialise";
+  Fun.protect
+    ~finally:(fun () ->
+      if traced then
+        Obs.Trace.span_end tr
+          ~args:
+            [ ("cache", Obs.Trace.Int h.c_id); ("off", Obs.Trace.Int h_off) ])
+  @@ fun () ->
   (* Pin the source page: the frame allocation below may otherwise
      reclaim it. *)
   src_page.p_wire_count <- src_page.p_wire_count + 1;

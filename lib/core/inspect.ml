@@ -98,6 +98,128 @@ let pp_context ppf (ctx : context) =
 let frames_held (pvm : pvm) =
   List.fold_left (fun acc c -> acc + List.length c.c_pages) 0 pvm.caches
 
+(* --- Residency / pressure snapshot ------------------------------- *)
+
+type cache_residency = {
+  cr_id : int;
+  cr_is_history : bool;
+  cr_alive : bool;
+  cr_resident : int;
+  cr_protected : int;
+  cr_stubs : int;
+  cr_swapped : int;
+  cr_depth : int;
+}
+
+type residency = {
+  rs_caches : cache_residency list;
+  rs_depth_histogram : (int * int) list;
+  rs_free_frames : int;
+  rs_used_frames : int;
+  rs_reclaim_len : int;
+  rs_sync_in_flight : int;
+}
+
+let residency (pvm : pvm) : residency =
+  let stub_count (cache : cache) =
+    Hashtbl.fold
+      (fun (cid, _) entry acc ->
+        match entry with
+        | Cow_stub _ when cid = cache.c_id -> acc + 1
+        | _ -> acc)
+      pvm.gmap 0
+  in
+  let caches =
+    pvm.caches
+    |> List.sort (fun a b -> compare a.c_id b.c_id)
+    |> List.map (fun (c : cache) ->
+           {
+             cr_id = c.c_id;
+             cr_is_history = c.c_is_history;
+             cr_alive = c.c_alive;
+             cr_resident = List.length c.c_pages;
+             cr_protected =
+               List.length (List.filter (fun p -> p.p_cow_protected) c.c_pages);
+             cr_stubs = stub_count c;
+             cr_swapped = Hashtbl.length c.c_backed_offs;
+             cr_depth = History.depth_to_root c;
+           })
+  in
+  let depth_hist = Hashtbl.create 8 in
+  List.iter
+    (fun cr ->
+      if cr.cr_alive then
+        Hashtbl.replace depth_hist cr.cr_depth
+          (1 + Option.value ~default:0 (Hashtbl.find_opt depth_hist cr.cr_depth)))
+    caches;
+  {
+    rs_caches = caches;
+    rs_depth_histogram =
+      Hashtbl.fold (fun d n acc -> (d, n) :: acc) depth_hist []
+      |> List.sort compare;
+    rs_free_frames = Hw.Phys_mem.free_frames pvm.mem;
+    rs_used_frames = frames_held pvm;
+    rs_reclaim_len = List.length pvm.reclaim;
+    rs_sync_in_flight =
+      Hashtbl.fold
+        (fun _ entry acc ->
+          match entry with
+          | Sync_stub _ -> acc + 1
+          | Resident _ | Cow_stub _ -> acc)
+        pvm.gmap 0;
+  }
+
+let pp_residency ppf (r : residency) =
+  Format.fprintf ppf "@[<v>residency snapshot:@,";
+  Format.fprintf ppf "  %-8s %6s %8s %9s %6s %7s %6s@," "cache" "depth"
+    "resident" "protected" "stubs" "swapped" "state";
+  List.iter
+    (fun cr ->
+      Format.fprintf ppf "  %-8s %6d %8d %9d %6d %7d %6s@,"
+        (Printf.sprintf "%s%d" (if cr.cr_is_history then "w" else "c") cr.cr_id)
+        cr.cr_depth cr.cr_resident cr.cr_protected cr.cr_stubs cr.cr_swapped
+        (if cr.cr_alive then "live" else "dead"))
+    r.rs_caches;
+  Format.fprintf ppf "  history-tree depth histogram: %s@,"
+    (String.concat ", "
+       (List.map
+          (fun (d, n) -> Printf.sprintf "depth %d: %d" d n)
+          r.rs_depth_histogram));
+  Format.fprintf ppf
+    "  frames: %d free / %d held; reclaim queue %d; in transit %d@]"
+    r.rs_free_frames r.rs_used_frames r.rs_reclaim_len r.rs_sync_in_flight
+
+let residency_json (r : residency) : Obs.Json.t =
+  let num n = Obs.Json.Num (float_of_int n) in
+  Obs.Json.Obj
+    [
+      ( "caches",
+        Obs.Json.List
+          (List.map
+             (fun cr ->
+               Obs.Json.Obj
+                 [
+                   ("id", num cr.cr_id);
+                   ("history", Obs.Json.Bool cr.cr_is_history);
+                   ("alive", Obs.Json.Bool cr.cr_alive);
+                   ("depth", num cr.cr_depth);
+                   ("resident", num cr.cr_resident);
+                   ("protected", num cr.cr_protected);
+                   ("stubs", num cr.cr_stubs);
+                   ("swapped", num cr.cr_swapped);
+                 ])
+             r.rs_caches) );
+      ( "depth_histogram",
+        Obs.Json.Obj
+          (List.map
+             (fun (d, n) -> (string_of_int d, num n))
+             r.rs_depth_histogram) );
+      ("free_frames", num r.rs_free_frames);
+      ("used_frames", num r.rs_used_frames);
+      ("reclaim_queue", num r.rs_reclaim_len);
+      ("in_transit", num r.rs_sync_in_flight);
+    ]
+
 (* --- Invariant accessors (used by the Check.Sanitizer sweep) ----- *)
 
 let pages (pvm : pvm) = List.concat_map (fun c -> c.c_pages) pvm.caches

@@ -21,6 +21,37 @@ val frames_held : Types.pvm -> int
 (** Frames referenced by page descriptors (must equal the pool's used
     count; checked by tests). *)
 
+(** {1 Residency / pressure snapshot}
+
+    A structured counterpart to {!pp_state} for the profiler: how many
+    pages each cache holds (and how many are read-protected, deferred
+    or swapped), how deep the history tree has grown, and how much
+    pressure the frame pool is under. *)
+
+type cache_residency = {
+  cr_id : int;
+  cr_is_history : bool;
+  cr_alive : bool;
+  cr_resident : int;  (** resident pages *)
+  cr_protected : int;  (** of which read-protected (COW sources) *)
+  cr_stubs : int;  (** deferred per-virtual-page stubs targeting it *)
+  cr_swapped : int;  (** offsets pushed to a swap segment *)
+  cr_depth : int;  (** distance to the history-tree root *)
+}
+
+type residency = {
+  rs_caches : cache_residency list;  (** by cache id *)
+  rs_depth_histogram : (int * int) list;  (** (depth, live caches) *)
+  rs_free_frames : int;
+  rs_used_frames : int;
+  rs_reclaim_len : int;
+  rs_sync_in_flight : int;
+}
+
+val residency : Types.pvm -> residency
+val pp_residency : Format.formatter -> residency -> unit
+val residency_json : residency -> Obs.Json.t
+
 val pages : Types.pvm -> Types.page list
 (** Every resident page descriptor, across all caches. *)
 

@@ -52,6 +52,16 @@ let add_pending_stub pvm ~src_cache ~src_off stub =
   in
   Hashtbl.replace pvm.stub_sources k (stub :: existing)
 
+(* Memory-pressure counter samples for the trace (and so for the
+   profiler's pressure series): emitted wherever the resident set
+   changes, they cost nothing when tracing is off. *)
+let note_pressure pvm =
+  let tr = Hw.Engine.tracer pvm.engine in
+  if Obs.Trace.enabled tr then begin
+    Obs.Trace.counter tr "pvm.reclaim_queue" (List.length pvm.reclaim);
+    Obs.Trace.counter tr "pvm.free_frames" (Hw.Phys_mem.free_frames pvm.mem)
+  end
+
 (* Create a page descriptor around [frame] and make it the resident
    entry for (cache, off).  The caller must have made sure no resident
    page or stub occupies that slot (or pass the sync-stub condition to
@@ -78,6 +88,7 @@ let insert_page pvm (cache : cache) ~off frame ~pulled_prot ~cow_protected =
   Pmap.register_page pvm page;
   pvm.reclaim <- pvm.reclaim @ [ page ];
   rethread_pending_stubs pvm page;
+  note_pressure pvm;
   page
 
 (* Install [frame] as the resident page for (cache, off) — unless a
@@ -116,7 +127,8 @@ let remove_page pvm (page : page) ~free_frame =
   if free_frame then begin
     charge pvm Hw.Cost.Frame_free;
     Hw.Phys_mem.free pvm.mem page.p_frame
-  end
+  end;
+  note_pressure pvm
 
 (* Move a page descriptor to another (cache, offset) without touching
    the frame: the move-semantics fast path of Table 1 ("changing the

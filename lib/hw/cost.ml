@@ -62,7 +62,10 @@ let chorus_sun360 =
 (* Calibrated against the Mach columns of Tables 6 and 7:
    - region create+destroy: 1.57 ms; range invalidation
      (1.89 - 1.57)/127 ~ 2.5 us/page.
-   - zero-fill structure: (180.8 - 1.89)/128 - 0.87 ~ 0.53 ms/page.
+   - zero-fill structure: (180.8 - 1.89)/128 - 0.87 ~ 0.53 ms/page
+     (frame free + invalidation are paid at teardown, so the
+     fault-time structure is dispatch 240 + map 40 + alloc 120 +
+     mmu map 120 = 520 us).
    - copy initiation: 2.7 - 1.57 ~ 1.1 ms (allocation of the two
      shadow memory objects and remapping), ~3 us/page protection.
    - COW resolution: (256.41 - 3.08)/128 - 1.4 ~ 0.58 ms/page of
@@ -75,7 +78,7 @@ let mach_sun360 =
     t_region_create = us 785;
     t_region_destroy = us 785;
     t_invalidate_page = us 2 + ns 500;
-    t_fault_dispatch = us 250;
+    t_fault_dispatch = us 240;
     t_map_lookup = us 40;
     t_frame_alloc = us 120;
     t_frame_free = us 30;
@@ -178,6 +181,9 @@ let prim_name = function
   | Ipc_fixed -> "ipc_fixed"
 
 let prim_names = Array.of_list (List.map prim_name all_prims)
+
+let prim_of_name name =
+  List.find_opt (fun p -> prim_name p = name) all_prims
 
 let span_of p = function
   | Bzero_page -> p.t_bzero_page

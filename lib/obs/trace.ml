@@ -245,7 +245,12 @@ let to_chrome_json t =
       sep ();
       add_event buf ev)
     (sorted_events t);
-  Buffer.add_string buf "]}\n";
+  (* ring-overwrite count as top-level metadata: a nonzero value means
+     the buffer was too small and the trace is a suffix of the run *)
+  Buffer.add_string buf
+    (Printf.sprintf
+       "],\"otherData\":{\"droppedEvents\":%d,\"bufferedEvents\":%d}}\n"
+       t.dropped t.len);
   Buffer.contents buf
 
 let pp_value ppf = function

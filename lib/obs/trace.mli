@@ -89,7 +89,9 @@ val events : t -> event list
 val to_chrome_json : t -> string
 (** The whole buffer as Chrome [trace_event] JSON ([ts]/[dur] in
     microseconds, as the format requires), events sorted by timestamp
-    with enclosing spans first. *)
+    with enclosing spans first.  The {!dropped} count is exported as
+    [otherData.droppedEvents]; nonzero means the trace is only a
+    suffix of the run. *)
 
 val pp_text : Format.formatter -> t -> unit
 (** Compact text rendering, one event per line. *)

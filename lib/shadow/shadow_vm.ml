@@ -38,6 +38,7 @@ type t = {
   cost : Hw.Cost.profile;
   engine : Hw.Engine.t;
   stats : stats;
+  obs : Obs.Metrics.t;
   mutable next_id : int;
 }
 
@@ -62,6 +63,7 @@ let create ?(page_size = 8192) ?(cost = Hw.Cost.mach_sun360) ~frames ~engine
     cost;
     engine;
     stats = fresh_stats ();
+    obs = Obs.Metrics.create ~prims:Hw.Cost.prim_names ();
     next_id = 1;
   }
 
@@ -78,7 +80,29 @@ let reset_stats t =
 
 let page_size t = Hw.Phys_mem.page_size t.mem
 let memory t = t.mem
-let charge span = if span > 0 then Hw.Cost.charge span
+
+(* Attributed charging, mirroring [Core.Types.charge]: every simulated
+   charge lands in the per-primitive table of [t.obs] and (when a
+   tracer is enabled) in the trace as a "cost" instant, so the Mach
+   baseline profiles exactly like the PVM. *)
+let charge_span t prim span =
+  Obs.Metrics.charge t.obs ~idx:(Hw.Cost.prim_index prim) ~ns:span;
+  Hw.Cost.charge_traced ~tracer:(Hw.Engine.tracer t.engine) ~prim span
+
+let charge t prim = charge_span t prim (Hw.Cost.span_of t.cost prim)
+
+(* Publish the legacy stats record as counters, then hand out the
+   registry (same pattern as [Pvm.metrics]). *)
+let metrics t =
+  let s = t.stats and m = t.obs in
+  let set name v = Obs.Metrics.set (Obs.Metrics.counter m name) v in
+  set "shadow.faults" s.n_faults;
+  set "shadow.zero_fills" s.n_zero_fills;
+  set "shadow.cow_copies" s.n_cow_copies;
+  set "shadow.shadows_created" s.n_shadows_created;
+  set "shadow.collapses" s.n_collapses;
+  set "shadow.chain_walks" s.n_chain_walks;
+  m
 
 let next_id t =
   let id = t.next_id in
@@ -109,7 +133,7 @@ let rec deref t (obj : obj) =
   if obj.o_refs = 0 then begin
     Hashtbl.iter
       (fun _ frame ->
-        charge t.cost.t_frame_free;
+        charge t Hw.Cost.Frame_free;
         Hw.Phys_mem.free t.mem frame)
       obj.o_pages;
     Hashtbl.reset obj.o_pages;
@@ -161,8 +185,8 @@ let allocate t (space : space) ~addr ~size ~prot =
       (fun e -> addr < e.e_addr + e.e_size && e.e_addr < addr + size)
       space.sp_entries
   then invalid_arg "Shadow_vm.allocate: overlap";
-  charge t.cost.t_region_create;
-  charge t.cost.t_cache_create;
+  charge t Hw.Cost.Region_create;
+  charge t Hw.Cost.Cache_create;
   let entry =
     {
       e_space = space;
@@ -180,9 +204,10 @@ let allocate t (space : space) ~addr ~size ~prot =
 let entry_destroy t (entry : entry) =
   if entry.e_alive then begin
     entry.e_alive <- false;
-    charge t.cost.t_region_destroy;
+    charge t Hw.Cost.Region_destroy;
     let ps = page_size t in
-    charge (t.cost.t_invalidate_page * (entry.e_size / ps));
+    charge_span t Hw.Cost.Invalidate_page
+      (t.cost.t_invalidate_page * (entry.e_size / ps));
     ignore
       (Hw.Mmu.invalidate_range entry.e_space.sp_mmu
          ~vpn:(entry.e_addr / ps) ~count:(entry.e_size / ps));
@@ -203,24 +228,37 @@ let space_destroy t (space : space) =
    shadow objects, are created"). *)
 let copy_entry t (entry : entry) ~(dst_space : space) ~dst_addr =
   if not entry.e_alive then invalid_arg "Shadow_vm.copy_entry: dead entry";
-  charge t.cost.t_region_create;
+  let tr = Hw.Engine.tracer t.engine in
+  let traced = Obs.Trace.enabled tr in
+  if traced then Obs.Trace.span_begin tr ~cat:"vm" "copy";
+  Fun.protect
+    ~finally:(fun () ->
+      if traced then
+        Obs.Trace.span_end tr
+          ~args:
+            [
+              ("size", Obs.Trace.Int entry.e_size);
+              ("strategy", Obs.Trace.Str "shadow");
+            ])
+  @@ fun () ->
+  charge t Hw.Cost.Region_create;
   let original = entry.e_obj in
   original.o_read_only <- true;
   (* protect every resident page of the chain top *)
   Hashtbl.iter
     (fun off _frame ->
-      charge t.cost.t_mmu_protect;
+      charge t Hw.Cost.Mmu_protect;
       let vpn = (entry.e_addr + off - entry.e_offset) / page_size t in
       match Hw.Mmu.query entry.e_space.sp_mmu ~vpn with
       | Some (frame, prot) ->
         Hw.Mmu.map entry.e_space.sp_mmu ~vpn frame (Hw.Prot.remove_write prot)
       | None -> ())
     original.o_pages;
-  charge t.cost.t_tree_setup;
+  charge t Hw.Cost.Tree_setup;
   (* shadow for the source side *)
   let s_src = new_obj t ~shadow:original () in
   t.stats.n_shadows_created <- t.stats.n_shadows_created + 1;
-  charge t.cost.t_tree_setup;
+  charge t Hw.Cost.Tree_setup;
   (* shadow for the copy side *)
   let s_dst = new_obj t ~shadow:original () in
   t.stats.n_shadows_created <- t.stats.n_shadows_created + 1;
@@ -256,60 +294,119 @@ let rec chain_lookup t (obj : obj) ~off =
   | None -> (
     match obj.o_shadow with
     | Some below ->
-      charge t.cost.t_tree_lookup;
+      charge t Hw.Cost.Tree_lookup;
       t.stats.n_chain_walks <- t.stats.n_chain_walks + 1;
       chain_lookup t below ~off
     | None -> None)
 
+(* Resolution labels shared with the PVM's fault handler, so a profile
+   of the Mach baseline folds under the same ["fault:<kind>"] keys. *)
+let resolution_name = function
+  | `Hit -> "hit"
+  | `Zero_fill -> "zero-fill"
+  | `Cow_copy -> "cow-copy"
+  | `Borrow -> "borrow"
+
+let hist_name = function
+  | `Hit -> "fault.hit"
+  | `Zero_fill -> "fault.zero-fill"
+  | `Cow_copy -> "fault.cow-copy"
+  | `Borrow -> "fault.borrow"
+
+let access_name = function
+  | `Read -> "read"
+  | `Write -> "write"
+  | `Execute -> "execute"
+
 let fault t (space : space) ~addr ~(access : Hw.Mmu.access) =
   t.stats.n_faults <- t.stats.n_faults + 1;
-  charge t.cost.t_fault_dispatch;
-  match find_entry space ~addr with
-  | None -> raise (Segmentation_fault addr)
-  | Some entry ->
-    if not (Hw.Prot.allows entry.e_prot access) then
-      raise (Protection_fault addr);
-    let ps = page_size t in
-    let off = (addr - entry.e_addr + entry.e_offset) / ps * ps in
-    let vpn = addr / ps in
-    charge t.cost.t_map_lookup;
-    let top = entry.e_obj in
-    (match chain_lookup t top ~off with
-    | Some (owner, frame) ->
-      if owner == top && not top.o_read_only then begin
-        (* our own page: map it with full rights *)
-        charge t.cost.t_mmu_map;
-        Hw.Mmu.map space.sp_mmu ~vpn frame entry.e_prot
-      end
-      else if access = `Write then begin
-        (* copy the page up into the chain top *)
-        let fresh = Hw.Phys_mem.alloc t.mem in
-        charge t.cost.t_frame_alloc;
-        charge t.cost.t_bcopy_page;
-        Hw.Phys_mem.bcopy ~src:frame ~dst:fresh;
-        t.stats.n_cow_copies <- t.stats.n_cow_copies + 1;
-        Hashtbl.replace top.o_pages off fresh;
-        charge t.cost.t_mmu_map;
-        Hw.Mmu.map space.sp_mmu ~vpn fresh entry.e_prot
-      end
-      else begin
-        charge t.cost.t_mmu_map;
-        Hw.Mmu.map space.sp_mmu ~vpn frame (Hw.Prot.remove_write entry.e_prot)
-      end
-    | None ->
-      (* zero-fill in the top object *)
-      let fresh = Hw.Phys_mem.alloc t.mem in
-      charge t.cost.t_frame_alloc;
-      charge t.cost.t_bzero_page;
-      Hw.Phys_mem.bzero fresh;
-      t.stats.n_zero_fills <- t.stats.n_zero_fills + 1;
-      Hashtbl.replace top.o_pages off fresh;
-      charge t.cost.t_mmu_map;
-      Hw.Mmu.map space.sp_mmu ~vpn fresh
-        (if top.o_read_only then Hw.Prot.remove_write entry.e_prot
-         else entry.e_prot));
-    (* opportunistic chain collapse, as Mach performs during faults *)
-    collapse_chain t top
+  let tr = Hw.Engine.tracer t.engine in
+  let traced = Obs.Trace.enabled tr in
+  if traced then Obs.Trace.span_begin tr ~cat:"vm" "fault";
+  let t0 = Hw.Engine.now t.engine in
+  let target = ref [] in
+  match
+    charge t Hw.Cost.Fault_dispatch;
+    match find_entry space ~addr with
+    | None -> raise (Segmentation_fault addr)
+    | Some entry ->
+      if not (Hw.Prot.allows entry.e_prot access) then
+        raise (Protection_fault addr);
+      let ps = page_size t in
+      let off = (addr - entry.e_addr + entry.e_offset) / ps * ps in
+      let vpn = addr / ps in
+      charge t Hw.Cost.Map_lookup;
+      let top = entry.e_obj in
+      if traced then
+        target :=
+          [
+            ("cache", Obs.Trace.Int top.o_id); ("off", Obs.Trace.Int off);
+          ];
+      let kind =
+        match chain_lookup t top ~off with
+        | Some (owner, frame) ->
+          if owner == top && not top.o_read_only then begin
+            (* our own page: map it with full rights *)
+            charge t Hw.Cost.Mmu_map;
+            Hw.Mmu.map space.sp_mmu ~vpn frame entry.e_prot;
+            `Hit
+          end
+          else if access = `Write then begin
+            (* copy the page up into the chain top *)
+            let fresh = Hw.Phys_mem.alloc t.mem in
+            charge t Hw.Cost.Frame_alloc;
+            charge t Hw.Cost.Bcopy_page;
+            Hw.Phys_mem.bcopy ~src:frame ~dst:fresh;
+            t.stats.n_cow_copies <- t.stats.n_cow_copies + 1;
+            Hashtbl.replace top.o_pages off fresh;
+            charge t Hw.Cost.Mmu_map;
+            Hw.Mmu.map space.sp_mmu ~vpn fresh entry.e_prot;
+            `Cow_copy
+          end
+          else begin
+            charge t Hw.Cost.Mmu_map;
+            Hw.Mmu.map space.sp_mmu ~vpn frame
+              (Hw.Prot.remove_write entry.e_prot);
+            `Borrow
+          end
+        | None ->
+          (* zero-fill in the top object *)
+          let fresh = Hw.Phys_mem.alloc t.mem in
+          charge t Hw.Cost.Frame_alloc;
+          charge t Hw.Cost.Bzero_page;
+          Hw.Phys_mem.bzero fresh;
+          t.stats.n_zero_fills <- t.stats.n_zero_fills + 1;
+          Hashtbl.replace top.o_pages off fresh;
+          charge t Hw.Cost.Mmu_map;
+          Hw.Mmu.map space.sp_mmu ~vpn fresh
+            (if top.o_read_only then Hw.Prot.remove_write entry.e_prot
+             else entry.e_prot);
+          `Zero_fill
+      in
+      (* opportunistic chain collapse, as Mach performs during faults *)
+      collapse_chain t top;
+      kind
+  with
+  | kind ->
+    Obs.Metrics.observe
+      (Obs.Metrics.histogram t.obs (hist_name kind))
+      (Hw.Engine.now t.engine - t0);
+    if traced then
+      Obs.Trace.span_end tr
+        ~args:
+          ([
+             ("addr", Obs.Trace.Int addr);
+             ("access", Obs.Trace.Str (access_name access));
+             ("resolution", Obs.Trace.Str (resolution_name kind));
+           ]
+          @ !target)
+  | exception e ->
+    if traced then
+      Obs.Trace.span_end tr
+        ~args:
+          ([ ("addr", Obs.Trace.Int addr); ("resolution", Obs.Trace.Str "error") ]
+          @ !target);
+    raise e
 
 let access_frame t (space : space) ~addr ~access =
   let rec go retries =

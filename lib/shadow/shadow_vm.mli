@@ -48,6 +48,15 @@ type stats = {
 
 val stats : t -> stats
 val reset_stats : t -> unit
+
+val metrics : t -> Obs.Metrics.t
+(** The baseline's metrics registry — per-primitive cost attribution,
+    fault-kind latency histograms and the legacy counters (published
+    as [shadow.*]) — mirroring {!Pvm.metrics} so Chorus-vs-Mach
+    comparisons read symmetrically.  Charges attribute here always;
+    fault and copy spans additionally reach the engine's tracer when
+    one is enabled. *)
+
 val page_size : t -> int
 val memory : t -> Hw.Phys_mem.t
 

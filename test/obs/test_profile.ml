@@ -1,0 +1,265 @@
+(* Golden tests for the cost-attribution profiler: the §5.3.2 overhead
+   decomposition *derived from measured charges* must land within 5%
+   of the paper's published numbers, for the Chorus PVM and for the
+   Mach-style shadow baseline alike; attribution totals must agree
+   with the Table 6 cells; and the export surfaces (folded stacks,
+   JSON, dropped-event accounting) must stay coherent. *)
+
+let ps = 8192
+let size = 1024 * 1024 (* the 1024 Kb / 128-page cells *)
+let pages = 128
+
+let run_traced f =
+  let tr = Obs.Trace.create () in
+  let engine = Hw.Engine.create () in
+  Hw.Engine.set_tracer engine tr;
+  Obs.Trace.enable tr;
+  Hw.Engine.run_fn engine (fun () -> f engine);
+  (Hw.Engine.now engine, Obs.Profile.of_trace tr)
+
+(* One Table-6 zero-fill cycle. *)
+let chorus_zero_fill engine =
+  let pvm = Core.Pvm.create ~frames:600 ~engine () in
+  let ctx = Core.Context.create pvm in
+  let cache = Core.Cache.create pvm () in
+  let region =
+    Core.Region.create pvm ctx ~addr:0 ~size ~prot:Hw.Prot.read_write cache
+      ~offset:0
+  in
+  for p = 0 to pages - 1 do
+    Core.Pvm.touch pvm ctx ~addr:(p * ps) ~access:`Write
+  done;
+  Core.Region.destroy pvm region;
+  Core.Cache.destroy pvm cache
+
+(* ... followed by a Table-7 deferred-copy + COW cycle. *)
+let chorus_decomp engine =
+  chorus_zero_fill engine;
+  let pvm = Core.Pvm.create ~frames:600 ~engine () in
+  let ctx = Core.Context.create pvm in
+  let src = Core.Cache.create pvm () in
+  let src_region =
+    Core.Region.create pvm ctx ~addr:0 ~size ~prot:Hw.Prot.read_write src
+      ~offset:0
+  in
+  for p = 0 to (size / ps) - 1 do
+    Core.Pvm.touch pvm ctx ~addr:(p * ps) ~access:`Write
+  done;
+  let copy = Core.Cache.create pvm () in
+  Core.Cache.copy pvm ~strategy:`History ~src ~src_off:0 ~dst:copy ~dst_off:0
+    ~size ();
+  let copy_region =
+    Core.Region.create pvm ctx ~addr:0x4000_0000 ~size
+      ~prot:Hw.Prot.read_write copy ~offset:0
+  in
+  for p = 0 to pages - 1 do
+    Core.Pvm.touch pvm ctx ~addr:(p * ps) ~access:`Write
+  done;
+  Core.Region.destroy pvm copy_region;
+  Core.Cache.destroy pvm copy;
+  Core.Region.destroy pvm src_region;
+  Core.Cache.destroy pvm src
+
+let mach_zero_fill engine =
+  let vm = Shadow.Shadow_vm.create ~frames:600 ~engine () in
+  let sp = Shadow.Shadow_vm.space_create vm in
+  let e =
+    Shadow.Shadow_vm.allocate vm sp ~addr:0 ~size ~prot:Hw.Prot.read_write
+  in
+  for p = 0 to pages - 1 do
+    Shadow.Shadow_vm.touch vm sp ~addr:(p * ps) ~access:`Write
+  done;
+  Shadow.Shadow_vm.entry_destroy vm e
+
+let mach_decomp engine =
+  mach_zero_fill engine;
+  let vm = Shadow.Shadow_vm.create ~frames:900 ~engine () in
+  let sp = Shadow.Shadow_vm.space_create vm in
+  let src =
+    Shadow.Shadow_vm.allocate vm sp ~addr:0 ~size ~prot:Hw.Prot.read_write
+  in
+  for p = 0 to (size / ps) - 1 do
+    Shadow.Shadow_vm.touch vm sp ~addr:(p * ps) ~access:`Write
+  done;
+  let copy =
+    Shadow.Shadow_vm.copy_entry vm src ~dst_space:sp ~dst_addr:0x4000_0000
+  in
+  for p = 0 to pages - 1 do
+    Shadow.Shadow_vm.touch vm sp ~addr:(p * ps) ~access:`Write
+  done;
+  Shadow.Shadow_vm.entry_destroy vm copy;
+  Shadow.Shadow_vm.entry_destroy vm src
+
+let check_pct ~msg ~paper_ms measured_ns =
+  match measured_ns with
+  | None -> Alcotest.failf "%s: not exercised by the workload" msg
+  | Some ns ->
+    let ms = ns /. 1e6 in
+    let dev = Float.abs ((ms -. paper_ms) /. paper_ms) *. 100. in
+    if dev > 5.0 then
+      Alcotest.failf "%s: derived %.4f ms vs paper %.4f ms (%.1f%% > 5%%)" msg
+        ms paper_ms dev
+
+(* ------------------------------------------------------------------ *)
+(* The §5.3.2 decomposition, derived from charges, vs the paper. *)
+
+let test_derived_chorus () =
+  let _, prof = run_traced chorus_decomp in
+  let d = Obs.Profile.derive prof in
+  Alcotest.(check int)
+    "zero-fill faults" (2 * pages) d.Obs.Profile.zero_fill_faults;
+  Alcotest.(check int) "COW faults" pages d.cow_faults;
+  Alcotest.(check int) "copies" 1 d.copies;
+  check_pct ~msg:"demand-alloc" ~paper_ms:0.27 d.demand_ns;
+  check_pct ~msg:"cow" ~paper_ms:0.31 d.cow_ns;
+  check_pct ~msg:"tree-setup" ~paper_ms:0.03 d.tree_setup_ns;
+  check_pct ~msg:"protect" ~paper_ms:0.016 d.protect_ns
+
+(* Mach paper values recomputed from its Table 6/7 cells by the
+   paper's own formulas: demand = (180.8 - 1.89)/128 - bzero;
+   cow = (256.41 - 3.08)/128 - bcopy; shadow setup = 2.7 - 1.57;
+   protect = (3.08 - 2.7)/127. *)
+let test_derived_mach () =
+  let _, prof = run_traced mach_decomp in
+  let d = Obs.Profile.derive prof in
+  Alcotest.(check int)
+    "zero-fill faults" (2 * pages) d.Obs.Profile.zero_fill_faults;
+  Alcotest.(check int) "COW faults" pages d.cow_faults;
+  Alcotest.(check int) "copies" 1 d.copies;
+  check_pct ~msg:"demand-alloc" ~paper_ms:0.5277 d.demand_ns;
+  check_pct ~msg:"cow" ~paper_ms:0.5792 d.cow_ns;
+  check_pct ~msg:"shadow setup" ~paper_ms:1.13 d.tree_setup_ns;
+  check_pct ~msg:"protect" ~paper_ms:0.0030 d.protect_ns
+
+(* ------------------------------------------------------------------ *)
+(* Attribution totals: in these device-free workloads every advance of
+   the simulated clock is a primitive charge, so the profiler's total
+   must equal elapsed sim time exactly — and the elapsed time is the
+   Table 6 (1024 Kb, 128 pg) cell, within 5% of the paper. *)
+
+let test_attribution_total_chorus () =
+  let elapsed, prof = run_traced chorus_zero_fill in
+  Alcotest.(check int)
+    "every simulated ns attributed" elapsed prof.Obs.Profile.total_charge_ns;
+  let ms = float_of_int elapsed /. 1e6 in
+  if Float.abs ((ms -. 145.9) /. 145.9) > 0.05 then
+    Alcotest.failf "Table 6 cell drifted: %.2f ms vs paper 145.9" ms
+
+let test_attribution_total_mach () =
+  let elapsed, prof = run_traced mach_zero_fill in
+  Alcotest.(check int)
+    "every simulated ns attributed" elapsed prof.Obs.Profile.total_charge_ns;
+  let ms = float_of_int elapsed /. 1e6 in
+  if Float.abs ((ms -. 180.8) /. 180.8) > 0.05 then
+    Alcotest.failf "Table 6 Mach cell drifted: %.2f ms vs paper 180.8" ms
+
+(* ------------------------------------------------------------------ *)
+(* Export surfaces. *)
+
+let test_folded_output () =
+  let _, prof = run_traced chorus_decomp in
+  let folded = Obs.Profile.to_folded prof in
+  let lines =
+    String.split_on_char '\n' folded |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check bool) "has stacks" true (List.length lines > 0);
+  let total = ref 0 in
+  List.iter
+    (fun line ->
+      match String.rindex_opt line ' ' with
+      | None -> Alcotest.failf "malformed folded line: %s" line
+      | Some i -> (
+        let path = String.sub line 0 i in
+        let ns = String.sub line (i + 1) (String.length line - i - 1) in
+        Alcotest.(check bool) "nonempty path" true (String.length path > 0);
+        match int_of_string_opt ns with
+        | Some n -> total := !total + n
+        | None -> Alcotest.failf "bad sample count in: %s" line))
+    lines;
+  Alcotest.(check int)
+    "folded stacks conserve total attribution" prof.Obs.Profile.total_charge_ns
+    !total;
+  let has_zero_fill =
+    List.exists
+      (fun l ->
+        String.length l >= 15 && String.sub l 0 15 = "fault:zero-fill")
+      lines
+  in
+  Alcotest.(check bool) "zero-fill stacks present" true has_zero_fill
+
+let test_dropped_surfaces () =
+  let tr = Obs.Trace.create ~capacity:16 () in
+  let engine = Hw.Engine.create () in
+  Hw.Engine.set_tracer engine tr;
+  Obs.Trace.enable tr;
+  Hw.Engine.run_fn engine (fun () -> chorus_zero_fill engine);
+  Alcotest.(check bool) "ring overflowed" true (Obs.Trace.dropped tr > 0);
+  let prof = Obs.Profile.of_trace tr in
+  Alcotest.(check int)
+    "profile surfaces the dropped count" (Obs.Trace.dropped tr)
+    prof.Obs.Profile.n_dropped;
+  let report = Format.asprintf "%a" Obs.Profile.pp prof in
+  let contains ~sub s =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "text report warns" true (contains ~sub:"WARNING" report);
+  (* the Chrome export carries it as metadata, parseable JSON *)
+  let chrome = Obs.Json.parse (Obs.Trace.to_chrome_json tr) in
+  match
+    Obs.Json.(get_num (member "droppedEvents"
+                         (Option.value ~default:Obs.Json.Null
+                            (member "otherData" chrome))))
+  with
+  | Some n ->
+    Alcotest.(check int)
+      "droppedEvents metadata" (Obs.Trace.dropped tr) (int_of_float n)
+  | None -> Alcotest.fail "no otherData.droppedEvents in Chrome export"
+
+let test_json_roundtrip () =
+  let _, prof = run_traced chorus_decomp in
+  let j = Obs.Profile.to_json prof in
+  let reparsed = Obs.Json.parse (Obs.Json.to_string j) in
+  Alcotest.(check string)
+    "print/parse/print fixpoint"
+    (Obs.Json.to_string j)
+    (Obs.Json.to_string reparsed);
+  Alcotest.(check (option string))
+    "schema tag" (Some "chorus-profile/1")
+    Obs.Json.(get_str (member "schema" reparsed));
+  match Obs.Json.(get_num (member "total_charge_ns" reparsed)) with
+  | Some total ->
+    Alcotest.(check int)
+      "totals survive the roundtrip" prof.Obs.Profile.total_charge_ns
+      (int_of_float total)
+  | None -> Alcotest.fail "no total_charge_ns field"
+
+let () =
+  Alcotest.run "profile"
+    [
+      ( "derived",
+        [
+          Alcotest.test_case "chorus within 5% of paper" `Quick
+            test_derived_chorus;
+          Alcotest.test_case "mach within 5% of paper" `Quick
+            test_derived_mach;
+        ] );
+      ( "attribution",
+        [
+          Alcotest.test_case "chorus total = sim time = Table 6 cell" `Quick
+            test_attribution_total_chorus;
+          Alcotest.test_case "mach total = sim time = Table 6 cell" `Quick
+            test_attribution_total_mach;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "folded stacks conserve charges" `Quick
+            test_folded_output;
+          Alcotest.test_case "dropped events surface everywhere" `Quick
+            test_dropped_surfaces;
+          Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+        ] );
+    ]
