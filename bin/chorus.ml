@@ -580,6 +580,36 @@ let profile scenario folded json_out =
    agree on the observable outcome (stats counters and frame-pool
    occupancy). *)
 
+(* Read every live, readable region back through the GMI and digest
+   the bytes — the logical memory contents a program could observe.
+   Runs on the scenario's own (drained) engine, so pulls and faults it
+   triggers are legal; callers must capture anything else they want to
+   compare (stats, state digests) BEFORE this perturbs the state. *)
+let content_digest engine pvms =
+  Hw.Engine.run_fn engine (fun () ->
+      let b = Buffer.create 4096 in
+      List.iter
+        (fun pvm ->
+          List.iter
+            (fun (ctx : Core.Types.context) ->
+              if ctx.Core.Types.ctx_alive then
+                List.iter
+                  (fun (r : Core.Types.region) ->
+                    if r.Core.Types.r_alive && Hw.Prot.allows r.r_prot `Read
+                    then begin
+                      Buffer.add_string b
+                        (Printf.sprintf "|%d@%x:" ctx.ctx_id r.r_addr);
+                      Buffer.add_bytes b
+                        (Core.Pvm.read pvm ctx ~addr:r.r_addr ~len:r.r_size)
+                    end)
+                  ctx.ctx_regions)
+            (List.sort
+               (fun (a : Core.Types.context) (b : Core.Types.context) ->
+                 compare a.ctx_id b.ctx_id)
+               pvm.Core.Types.contexts))
+        pvms;
+      Digest.to_hex (Digest.string (Buffer.contents b)))
+
 let check scenario seeds every_event =
   let body, deterministic = scenario_entry scenario in
   let failures = ref 0 in
@@ -618,33 +648,166 @@ let check scenario seeds every_event =
     List.iter
       (fun v -> fail label "%a" Check.Blocking.pp_violation v)
       (Check.Blocking.analyze tr);
-    String.concat "\n"
-      (List.map
-         (fun pvm ->
-           Format.asprintf "%a used=%d" Core.Types.pp_stats
-             (Core.Pvm.stats pvm)
-             (Hw.Phys_mem.used_frames (Core.Pvm.memory pvm)))
-         pvms)
+    let stats_str =
+      String.concat "\n"
+        (List.map
+           (fun pvm ->
+             Format.asprintf "%a used=%d" Core.Types.pp_stats
+               (Core.Pvm.stats pvm)
+               (Hw.Phys_mem.used_frames (Core.Pvm.memory pvm)))
+           pvms)
+    in
+    let state_digest = String.concat "+" (List.map Core.Inspect.digest pvms) in
+    (* last: the read-back faults pages in and perturbs the state *)
+    let contents = content_digest engine pvms in
+    (stats_str, state_digest, contents)
   in
-  let reference = run_one "fifo" Hw.Engine.Fifo in
+  let ref_stats, ref_state, ref_contents = run_one "fifo" Hw.Engine.Fifo in
   for seed = 1 to seeds do
     let label = Printf.sprintf "seed %d" seed in
-    let digest = run_one label (Hw.Engine.Seeded seed) in
-    if deterministic && not (String.equal digest reference) then
+    let stats_str, state_digest, contents =
+      run_one label (Hw.Engine.Seeded seed)
+    in
+    if deterministic && not (String.equal stats_str ref_stats) then
       fail label "schedule-dependent outcome:@,--- fifo@,%s@,--- %s@,%s"
-        reference label digest
+        ref_stats label stats_str;
+    if deterministic && not (String.equal state_digest ref_state) then
+      fail label
+        "schedule-dependent observable state: Inspect.digest %s, fifo had %s"
+        state_digest ref_state;
+    (* even racing scenarios must converge to one memory content here:
+       contend's writers store constant bytes at disjoint offsets *)
+    if not (String.equal contents ref_contents) then
+      fail label
+        "schedule-dependent memory contents: read-back digest %s, fifo had %s"
+        contents ref_contents
   done;
   if !failures = 0 then
     Printf.printf
       "chorus check %s: OK — fifo + %d seed(s)%s; quiescent sweep and \
-       blocking discipline hold%s\n"
+       blocking discipline hold; memory contents schedule-independent%s\n"
       scenario seeds
       (if every_event then ", per-event structural sweep" else "")
-      (if deterministic then "; outcome schedule-independent" else "")
+      (if deterministic then "; outcome and state schedule-independent"
+       else "")
   else begin
     Printf.eprintf "chorus check %s: %d failure(s)\n" scenario !failures;
     exit 1
   end
+
+(* chorus explore SCENARIO: systematic schedule exploration with the
+   Check.Explore DPOR model checker.  [contend] runs a Model program
+   through the full PVM under memory pressure and checks every
+   schedule's outcome against the sequential reference model's
+   serializations; the other scenarios assert their observable
+   Inspect digest is schedule-independent. *)
+
+let explore_prog ~workers ~rounds ~pages =
+  Array.init workers (fun f ->
+      Array.concat
+        (List.init rounds (fun r ->
+             let p = (f + r) mod pages in
+             [|
+               Check.Model.Write
+                 { addr = p * ps; data = String.make 16 (Char.chr (65 + f)) };
+               Check.Model.Read { addr = (p + 1) mod pages * ps; len = 8 };
+             |])))
+
+let explore_contend_pages = 3
+
+let explore_contend_prog =
+  explore_prog ~workers:3 ~rounds:2 ~pages:explore_contend_pages
+
+(* Two workers, three pages, two frames: every operation contends for
+   a frame, so schedules branch at frame allocation, eviction and
+   pullIn — the §3.3.3 window the explorer is for.  Both workers
+   write page 1 with different bytes: a genuine value race with
+   several legal serializations, so the oracle is the Model's outcome
+   set rather than a single digest. *)
+let explore_contend_scenario =
+  Check.Explore.of_program ~name:"contend"
+    ~setup:(fun engine ->
+      let site =
+        Nucleus.Site.create ~frames:3 ~swap_seek_time:(Hw.Sim_time.ms 4)
+          ~swap_transfer_time_per_page:(Hw.Sim_time.ms 1) ~engine ()
+      in
+      let pvm = site.Nucleus.Site.pvm in
+      let ctx = Core.Context.create pvm in
+      let cache = Core.Cache.create pvm () in
+      let size = explore_contend_pages * ps in
+      let _ =
+        Core.Region.create pvm ctx ~addr:0 ~size ~prot:Hw.Prot.read_write
+          cache ~offset:0
+      in
+      (pvm, ctx, size))
+    explore_contend_prog
+
+let explore_scenario name =
+  if String.equal name "contend" then
+    ( explore_contend_scenario,
+      Check.Explore.Outcomes
+        (lazy
+          (Check.Model.outcomes
+             ~size:(explore_contend_pages * ps)
+             explore_contend_prog)) )
+  else
+    let body, deterministic = scenario_entry name in
+    ( {
+        Check.Explore.name;
+        run =
+          (fun engine ~register ->
+            let pvms = body ~register engine in
+            fun () -> String.concat "+" (List.map Core.Inspect.digest pvms));
+      },
+      if deterministic then Check.Explore.Schedule_independent
+      else Check.Explore.No_oracle )
+
+let explore scenario bound max_schedules show_stats schedule_out =
+  let scen, oracle = explore_scenario scenario in
+  let result = Check.Explore.run ?bound ?max_schedules ~oracle scen in
+  let s = result.Check.Explore.r_stats in
+  match result.Check.Explore.r_violation with
+  | None ->
+    Printf.printf
+      "chorus explore %s: OK — %d schedules (%s%s), %d distinct outcomes, %d \
+       reversible races, %d sleep-set + %d bound prunes\n"
+      scenario s.Check.Explore.schedules
+      (match bound with
+      | None -> "exhaustive DPOR"
+      | Some k -> Printf.sprintf "preemption bound %d" k)
+      (if s.exhausted then "" else "; budget hit, NOT exhausted")
+      s.distinct_outcomes s.races
+      (s.sleep_blocked + s.sleep_skips)
+      s.bound_pruned;
+    if show_stats then Format.printf "%a@." Check.Explore.pp_stats s
+  | Some v ->
+    Format.eprintf "chorus explore %s: FAILED@.%a@." scenario
+      Check.Explore.pp_violation v;
+    if show_stats then Format.eprintf "%a@." Check.Explore.pp_stats s;
+    (match Check.Explore.replay scen v.Check.Explore.v_schedule with
+    | `Violation (kind, _) ->
+      Format.eprintf "replay of the offending schedule reproduces: %s@." kind
+    | `Done _ | `Sleep ->
+      Format.eprintf "warning: replay did not reproduce the violation@.");
+    Option.iter
+      (fun file ->
+        let doc =
+          Obs.Json.Obj
+            [
+              ("schema", Obs.Json.Str "chorus-explore-schedule/1");
+              ("scenario", Obs.Json.Str scenario);
+              ("kind", Obs.Json.Str v.Check.Explore.v_kind);
+              ( "schedule",
+                Obs.Json.List
+                  (List.map
+                     (fun f -> Obs.Json.Num (float_of_int f))
+                     v.Check.Explore.v_schedule) );
+            ]
+        in
+        write_file ~cmd:"explore" file (Obs.Json.to_string doc ^ "\n");
+        Printf.printf "wrote %s\n" file)
+      schedule_out;
+    exit 1
 
 let n_arg ~doc default =
   Arg.(value & pos 0 int default & info [] ~docv:"N" ~doc)
@@ -702,6 +865,40 @@ let cmds =
                 ~doc:
                   "additionally run the structural invariant sweep after \
                    every engine event (slow)"));
+    Cmd.v
+      (Cmd.info "explore"
+         ~doc:
+           "systematically explore a scenario's schedules with the DPOR \
+            model checker: every reordering of equal-time fibres (pruned by \
+            sleep sets and dynamic partial-order reduction, or by a \
+            preemption bound), each swept by the structural sanitizer at \
+            every engine event and checked against a refinement oracle \
+            ($(b,contend): the sequential flat-memory model's \
+            serializations; others: schedule-independent observable \
+            digest).  On a violation the minimal offending schedule is \
+            replayed and can be saved with $(b,--schedule-out)")
+      Term.(
+        const explore $ scenario_arg
+        $ Arg.(
+            value
+            & opt (some int) None
+            & info [ "bound" ] ~docv:"K"
+                ~doc:
+                  "preemption-bounded DFS with at most $(docv) preemptions \
+                   instead of exhaustive DPOR")
+        $ Arg.(
+            value
+            & opt (some int) None
+            & info [ "max-schedules" ] ~docv:"N"
+                ~doc:"stop after exploring $(docv) schedules")
+        $ Arg.(
+            value & flag
+            & info [ "stats" ] ~doc:"print the full exploration statistics")
+        $ Arg.(
+            value
+            & opt (some string) None
+            & info [ "schedule-out" ] ~docv:"FILE"
+                ~doc:"on failure, write the offending schedule as JSON"));
     Cmd.v
       (Cmd.info "stats"
          ~doc:

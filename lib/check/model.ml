@@ -1,0 +1,98 @@
+(* Sequential reference model for the schedule explorer's refinement
+   oracle.
+
+   The GMI's contract, stripped of caching, copy trees and paging, is
+   a flat atomic array of bytes: each single-page program read or
+   write takes effect instantaneously at some point during its
+   execution (its successful MMU translation; no scheduling point
+   separates the translation from the byte copy in [Pvm]).  An
+   execution of the real PVM is therefore correct iff its observable
+   outcome — final memory contents plus the values every fibre's reads
+   returned — equals that of SOME serialization of the per-fibre
+   operation sequences over this flat model.  [outcomes] enumerates
+   exactly that set. *)
+
+type op =
+  | Write of { addr : int; data : string }
+  | Read of { addr : int; len : int }
+
+type prog = op array array
+
+(* Canonical digest of one observable outcome: the final contents and
+   each fibre's reads in program order.  Both the model and the
+   explorer's instrumented runs funnel through this, so membership is
+   a string comparison. *)
+let digest_outcome ~contents ~(reads : string list array) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b contents;
+  Array.iteri
+    (fun f rs ->
+      Buffer.add_string b (Printf.sprintf "|f%d:" f);
+      List.iter
+        (fun r ->
+          Buffer.add_string b r;
+          Buffer.add_char b ';')
+        rs)
+    reads;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* All serializations by exhaustive DFS with undo: at each point run
+   any fibre's next operation on the shared byte array.  Memory is
+   zero-initialised (anonymous GMI memory reads as zeroes).  The
+   result table maps outcome digests to (); distinct serializations
+   often collide on one outcome, which is the point — the table is the
+   set the oracle tests membership in. *)
+let outcomes ~size (prog : prog) : (string, unit) Hashtbl.t =
+  let n = Array.length prog in
+  let mem = Bytes.make size '\000' in
+  let pc = Array.make n 0 in
+  let reads = Array.make n [] in
+  (* reversed program order *)
+  let out = Hashtbl.create 64 in
+  let total = Array.fold_left (fun acc ops -> acc + Array.length ops) 0 prog in
+  let rec go remaining =
+    if remaining = 0 then
+      Hashtbl.replace out
+        (digest_outcome
+           ~contents:(Bytes.to_string mem)
+           ~reads:(Array.map List.rev reads))
+        ()
+    else
+      for f = 0 to n - 1 do
+        if pc.(f) < Array.length prog.(f) then begin
+          let op = prog.(f).(pc.(f)) in
+          pc.(f) <- pc.(f) + 1;
+          (match op with
+          | Write { addr; data } ->
+            let len = String.length data in
+            let saved = Bytes.sub_string mem addr len in
+            Bytes.blit_string data 0 mem addr len;
+            go (remaining - 1);
+            Bytes.blit_string saved 0 mem addr len
+          | Read { addr; len } ->
+            reads.(f) <- Bytes.sub_string mem addr len :: reads.(f);
+            go (remaining - 1);
+            reads.(f) <- List.tl reads.(f));
+          pc.(f) <- pc.(f) - 1
+        end
+      done
+  in
+  go total;
+  out
+
+(* Number of serializations [outcomes] walks: the multinomial
+   (sum len_i)! / prod (len_i!).  Lets tests and the CLI budget the
+   model before running it. *)
+let count (prog : prog) =
+  let c = ref 1 and placed = ref 0 in
+  Array.iter
+    (fun ops ->
+      (* multiply by C(placed + len, len), one factor at a time; each
+         intermediate product is itself a product of binomials, so the
+         division is exact *)
+      for i = 1 to Array.length ops do
+        incr placed;
+        c := !c * !placed / i
+      done)
+    prog;
+  !c

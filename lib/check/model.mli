@@ -1,0 +1,36 @@
+(** Sequential reference model for the schedule explorer's refinement
+    oracle ({!Explore}).
+
+    The GMI's observable contract, stripped of caching, copy trees and
+    paging, is a flat atomic byte array: every single-page program
+    read or write takes effect at one instant (in the PVM, its final
+    successful MMU translation — no scheduling point separates the
+    translation from the byte copy).  A concurrent execution of the
+    real PVM is correct iff its observable outcome matches SOME
+    serialization of the per-fibre operation sequences over this
+    model; {!outcomes} enumerates that set exhaustively. *)
+
+type op =
+  | Write of { addr : int; data : string }
+  | Read of { addr : int; len : int }
+
+type prog = op array array
+(** One operation sequence per fibre.  For the refinement argument to
+    hold, each operation must stay within a single page of the PVM it
+    is replayed against. *)
+
+val digest_outcome : contents:string -> reads:string list array -> string
+(** Canonical digest of one observable outcome: final memory contents
+    plus each fibre's read results in program order.  Both the model
+    and the explorer's instrumented scenarios funnel through this, so
+    the oracle is a table-membership test. *)
+
+val outcomes : size:int -> prog -> (string, unit) Hashtbl.t
+(** The outcome digests of every serialization of [prog] over a
+    zero-initialised byte array of [size] bytes, by exhaustive DFS
+    with undo.  The number of serializations walked is {!count}. *)
+
+val count : prog -> int
+(** Number of serializations of [prog] — the multinomial coefficient
+    (Σ lenᵢ)! / Π lenᵢ!.  Lets callers budget {!outcomes} before
+    running it. *)

@@ -120,6 +120,7 @@ and teardown pvm (cache : cache) =
   Parents.detach_all cache;
   cache.c_alive <- false;
   cache.c_zombie <- false;
+  note_structure pvm;
   pvm.caches <- List.filter (fun c -> not (c == cache)) pvm.caches;
   detach_unreferenced pvm cache ~parents_before
 
@@ -721,6 +722,7 @@ let sweep_zombies pvm =
         c.c_history <- None;
         c.c_alive <- false;
         c.c_zombie <- false;
+        note_structure pvm;
         pvm.caches <- List.filter (fun x -> not (x == c)) pvm.caches)
       dead
   end

@@ -13,6 +13,7 @@ let create pvm =
       ctx_alive = true;
     }
   in
+  note_structure pvm;
   pvm.contexts <- ctx :: pvm.contexts;
   ctx
 
@@ -38,6 +39,7 @@ let destroy pvm (ctx : context) =
   check_context_alive ctx;
   List.iter (fun r -> Region.destroy pvm r) ctx.ctx_regions;
   Hw.Mmu.destroy_space ctx.ctx_space;
+  note_structure pvm;
   pvm.contexts <- List.filter (fun c -> not (c == ctx)) pvm.contexts;
   (match pvm.current with
   | Some c when c == ctx -> pvm.current <- None

@@ -7,18 +7,30 @@ open Types
 
 let key (cache : cache) off : gkey = (cache.c_id, off)
 
+(* Every probe or update of a (cache, offset) entry is part of the
+   running slice's footprint: the explorer's independence relation is
+   fragment-granular, so two slices conflict exactly when they meet
+   here on the same key (or on a coarse object class, see Types). *)
+
 let find pvm cache ~off =
+  note_frag pvm cache ~off;
   charge pvm Hw.Cost.Map_lookup;
   Hashtbl.find_opt pvm.gmap (key cache off)
 
 (* Lookup without charging the simulated clock, for internal
    bookkeeping that a real implementation would do with direct
    pointers rather than a map probe. *)
-let peek pvm cache ~off = Hashtbl.find_opt pvm.gmap (key cache off)
+let peek pvm cache ~off =
+  note_frag pvm cache ~off;
+  Hashtbl.find_opt pvm.gmap (key cache off)
 
-let set pvm cache ~off entry = Hashtbl.replace pvm.gmap (key cache off) entry
+let set pvm cache ~off entry =
+  note_frag pvm cache ~off;
+  Hashtbl.replace pvm.gmap (key cache off) entry
 
-let remove pvm cache ~off = Hashtbl.remove pvm.gmap (key cache off)
+let remove pvm cache ~off =
+  note_frag pvm cache ~off;
+  Hashtbl.remove pvm.gmap (key cache off)
 
 (* Wait until no synchronization stub covers (cache, off); returns the
    current entry, if any.  Loops because a woken fibre may find a new

@@ -220,6 +220,76 @@ let residency_json (r : residency) : Obs.Json.t =
       ("in_transit", num r.rs_sync_in_flight);
     ]
 
+(* --- Observable-state digest ------------------------------------- *)
+
+(* A stable hash of everything a GMI client can observe: logical
+   segment contents (resident page bytes and their copy-protection),
+   deferred-copy stubs, swap coverage, the copy-tree shape, region
+   windows and the frame-pool level.  Deliberately EXCLUDED: frame
+   indices, reclaim-queue order and any other allocator bookkeeping a
+   client cannot see — two states that differ only there must digest
+   equal, so the digest can witness schedule independence. *)
+let digest (pvm : pvm) : string =
+  let b = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let ps = page_size pvm in
+  List.iter
+    (fun (c : cache) ->
+      add "cache %d hist=%b alive=%b zombie=%b anon=%b;" c.c_id c.c_is_history
+        c.c_alive c.c_zombie c.c_anonymous;
+      List.iter
+        (fun (f : frag) ->
+          add "par %d+%d->%d@%d %s;" f.f_off f.f_size f.f_parent.c_id
+            f.f_parent_off
+            (match f.f_policy with
+            | `Copy_on_write -> "cow"
+            | `Copy_on_reference -> "cor"))
+        c.c_parents;
+      List.iter
+        (fun (p : page) ->
+          add "page %d cowp=%b %s;" p.p_offset p.p_cow_protected
+            (Digest.to_hex
+               (Digest.bytes (Hw.Phys_mem.read p.p_frame ~off:0 ~len:ps))))
+        (List.sort (fun a b -> compare a.p_offset b.p_offset) c.c_pages);
+      Hashtbl.fold
+        (fun (cid, o) entry acc ->
+          if cid <> c.c_id then acc
+          else
+            match entry with
+            | Cow_stub s ->
+              let src =
+                match s.cs_source with
+                | Src_page p ->
+                  Printf.sprintf "pg(%d,%d)" p.p_cache.c_id p.p_offset
+                | Src_cache (sc, so) -> Printf.sprintf "(%d,%d)" sc.c_id so
+              in
+              Printf.sprintf "stub %d<-%s;" o src :: acc
+            | Sync_stub _ -> Printf.sprintf "sync %d;" o :: acc
+            | Resident _ -> acc)
+        pvm.gmap []
+      |> List.sort compare
+      |> List.iter (Buffer.add_string b);
+      Hashtbl.fold (fun o () acc -> o :: acc) c.c_backed_offs []
+      |> List.sort compare
+      |> List.iter (fun o -> add "swapped %d;" o))
+    (List.sort (fun a b -> compare a.c_id b.c_id) pvm.caches);
+  List.iter
+    (fun (ctx : context) ->
+      add "context %d alive=%b;" ctx.ctx_id ctx.ctx_alive;
+      List.iter
+        (fun (r : region) ->
+          add "region @%d +%d %s cache=%d@%d locked=%b alive=%b;" r.r_addr
+            r.r_size
+            (Hw.Prot.to_string r.r_prot)
+            r.r_cache.c_id r.r_offset r.r_locked r.r_alive)
+        ctx.ctx_regions)
+    (List.sort (fun a b -> compare a.ctx_id b.ctx_id) pvm.contexts);
+  add "frames free=%d held=%d reclaim=%d"
+    (Hw.Phys_mem.free_frames pvm.mem)
+    (frames_held pvm)
+    (List.length pvm.reclaim);
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
 (* --- Invariant accessors (used by the Check.Sanitizer sweep) ----- *)
 
 let pages (pvm : pvm) = List.concat_map (fun c -> c.c_pages) pvm.caches

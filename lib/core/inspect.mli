@@ -52,6 +52,17 @@ val residency : Types.pvm -> residency
 val pp_residency : Format.formatter -> residency -> unit
 val residency_json : residency -> Obs.Json.t
 
+val digest : Types.pvm -> string
+(** A stable hex digest of the PVM's observable state: resident page
+    contents and copy-protection per cache (sorted by offset), parent
+    fragments, deferred-copy stubs, swap coverage, contexts with their
+    region windows, and the frame-pool level.  Allocator bookkeeping a
+    client cannot observe — frame indices, reclaim-queue order — is
+    excluded, so two runs that agree on everything a program could
+    read digest equal.  Used by [chorus check] to assert deterministic
+    scenarios are schedule-independent, and by the schedule explorer's
+    refinement oracle. *)
+
 val pages : Types.pvm -> Types.page list
 (** Every resident page descriptor, across all caches. *)
 

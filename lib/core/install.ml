@@ -7,9 +7,19 @@
 
 open Types
 
+module For_testing = struct
+  (* Reintroduces the lost-insert race for the explorer's mutation
+     suite: [try_insert_fresh] skips the re-probe of its destination,
+     so two fibres that both zero-fill the same missing page install
+     two resident entries for one (cache, offset).  Never set outside
+     tests. *)
+  let skip_insert_probe = ref false
+end
+
 (* Raw local-cache constructor; the public entry point is
    [Cache.create], working caches are made by [History]. *)
 let new_cache pvm ?backing ~anonymous ~is_history () =
+  note_structure pvm;
   charge pvm Hw.Cost.Cache_create;
   let cache =
     {
@@ -69,6 +79,7 @@ let note_pressure pvm =
 let insert_page pvm (cache : cache) ~off frame ~pulled_prot ~cow_protected =
   assert (is_page_aligned pvm off);
   assert cache.c_alive;
+  note_frames pvm;
   let page =
     {
       p_cache = cache;
@@ -100,13 +111,17 @@ let insert_page pvm (cache : cache) ~off frame ~pulled_prot ~cow_protected =
    value won (§3.3.3). *)
 let try_insert_fresh pvm (cache : cache) ~off frame ~pulled_prot
     ~cow_protected =
-  match Global_map.peek pvm cache ~off with
-  | None ->
+  if !For_testing.skip_insert_probe then
     Some (insert_page pvm cache ~off frame ~pulled_prot ~cow_protected)
-  | Some _ ->
-    charge pvm Hw.Cost.Frame_free;
-    Hw.Phys_mem.free pvm.mem frame;
-    None
+  else
+    match Global_map.peek pvm cache ~off with
+    | None ->
+      Some (insert_page pvm cache ~off frame ~pulled_prot ~cow_protected)
+    | Some _ ->
+      note_frames pvm;
+      charge pvm Hw.Cost.Frame_free;
+      Hw.Phys_mem.free pvm.mem frame;
+      None
 
 (* Detach a page from every structure.  Per-virtual-page stubs still
    reading through it must have been materialised or retargeted by the
@@ -114,6 +129,7 @@ let try_insert_fresh pvm (cache : cache) ~off frame ~pulled_prot
 let remove_page pvm (page : page) ~free_frame =
   assert (page.p_alive);
   assert (page.p_cow_stubs = []);
+  note_frames pvm;
   Pmap.unmap_all pvm page;
   Pmap.unregister_page pvm page;
   let cache = page.p_cache in

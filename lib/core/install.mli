@@ -5,6 +5,14 @@
     keeping the page list, the global map, the frame registry, the
     reclaim queue and pending per-virtual-page stubs consistent. *)
 
+(** Test-only fault injection for the schedule explorer's mutation
+    suite ({!Check.Explore}): setting [skip_insert_probe] makes
+    {!try_insert_fresh} skip its destination re-probe, reintroducing
+    the lost-insert race.  Never set outside tests. *)
+module For_testing : sig
+  val skip_insert_probe : bool ref
+end
+
 val new_cache :
   Types.pvm ->
   ?backing:Gmi.backing ->

@@ -11,6 +11,15 @@
 
 open Types
 
+module For_testing = struct
+  (* Reintroduces the pre-sanitizer eviction race for the explorer's
+     mutation suite: [evict] pays a charge (a scheduling point) BEFORE
+     claiming its victim with a synchronization stub, re-opening the
+     window in which a concurrent allocator can elect the same victim
+     (double remove / double free).  Never set outside tests. *)
+  let evict_claim_late = ref false
+end
+
 (* One trace span around a pager upcall/eviction, closed on the way
    out even when the segment fails. *)
 let spanned pvm ~name ~args body =
@@ -111,6 +120,7 @@ let push_out pvm (page : page) =
 let evict pvm (page : page) =
   assert (can_evict pvm page);
   pvm.stats.n_evictions <- pvm.stats.n_evictions + 1;
+  note_frames pvm;
   retarget_stubs pvm page;
   let cache = page.p_cache and off = page.p_offset in
   (* Claim the victim before the first scheduling point (nothing above
@@ -120,6 +130,7 @@ let evict pvm (page : page) =
      allocator can elect the same victim (double-freeing its frame)
      and a concurrent fault can map the dying page (§3.3.3). *)
   let cond = Hw.Engine.Cond.create () in
+  if !For_testing.evict_claim_late then charge pvm Hw.Cost.Stub_insert;
   Global_map.set pvm cache ~off (Sync_stub cond);
   spanned pvm ~name:"evict"
     ~args:
@@ -184,6 +195,7 @@ let start_daemon pvm ~low_water ~high_water ~period =
 (* Allocate a frame, reclaiming FIFO victims when physical memory is
    exhausted. *)
 let alloc_frame pvm =
+  note_frames pvm;
   charge pvm Hw.Cost.Frame_alloc;
   let transfer_in_flight () =
     Hashtbl.fold

@@ -6,6 +6,15 @@
     caches first being declared to the upper layer through the
     [segmentCreate] hook so they can be given swap (§5.1.2). *)
 
+(** Test-only fault injection for the schedule explorer's mutation
+    suite ({!Check.Explore}): setting [evict_claim_late] makes
+    {!evict} pay a charge (a scheduling point) before claiming its
+    victim, reintroducing the double-eviction race.  Never set outside
+    tests. *)
+module For_testing : sig
+  val evict_claim_late : bool ref
+end
+
 val ensure_backing : Types.pvm -> Types.cache -> Gmi.backing option
 (** The cache's backing, acquiring swap through the segmentCreate hook
     for anonymous caches if needed. *)

@@ -75,6 +75,16 @@ let set_segment_create_hook pvm hook = pvm.segment_create_hook <- Some hook
    handler in the loop.  The retry bound turns a resolution bug into a
    failure rather than a hang. *)
 let access_frame pvm (ctx : context) ~addr ~access =
+  (* MMU hits never probe the global map, so the schedule explorer
+     would not see this access; note the touched fragment here so
+     conflicting program reads/writes never classify as independent. *)
+  if Hw.Engine.tracking pvm.engine then
+    List.iter
+      (fun (r : region) ->
+        if r.r_alive && addr >= r.r_addr && addr < r.r_addr + r.r_size then
+          note_frag pvm r.r_cache
+            ~off:(page_align_down pvm (r.r_offset + (addr - r.r_addr))))
+      ctx.ctx_regions;
   let rec go retries =
     if retries > 32 then
       failwith "PVM: page fault resolution did not converge";

@@ -168,6 +168,20 @@ let charge_span pvm prim span =
 
 let charge pvm prim = charge_span pvm prim (Hw.Cost.span_of pvm.cost prim)
 
+(* Footprint notes for the schedule explorer ({!Check.Explore}): each
+   shared object a slice touches is reported to the engine so the
+   model checker can decide which slices commute.  Fragments are keyed
+   by (cache id, offset); negative first components name the coarse
+   object classes — the frame pool with its FIFO reclaim queue (any
+   two allocation/reclaim transitions conflict: the victim choice
+   depends on queue order), and the cache/context topology.  No-ops
+   unless a scheduler is installed (Engine.note_access checks). *)
+let note_frag pvm (cache : cache) ~off =
+  Hw.Engine.note_access pvm.engine cache.c_id off
+
+let note_frames pvm = Hw.Engine.note_access pvm.engine (-1) 0
+let note_structure pvm = Hw.Engine.note_access pvm.engine (-2) 0
+
 let page_align_down pvm off = off - (off mod page_size pvm)
 
 let page_align_up pvm off =

@@ -67,6 +67,7 @@ let deliver pvm (cache : cache) ~offset (bytes : Bytes.t) ~prot ~dirty =
         | _, _ -> false
       in
       if not unchanged then begin
+        note_frames pvm;
         charge pvm Hw.Cost.Frame_free;
         Hw.Phys_mem.free pvm.mem frame;
         place ~off chunk

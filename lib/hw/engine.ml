@@ -9,6 +9,13 @@ type task = {
 
 type tie_break = Fifo | Seeded of int
 
+type ready_task = { rt_fib : int; rt_seq : int; rt_daemon : bool }
+
+type scheduler = {
+  sched_pick : now:Sim_time.t -> ready_task array -> int;
+  sched_step : fib:int -> accesses:(int * int) list -> unit;
+}
+
 type t = {
   mutable now : Sim_time.t;
   mutable seq : int;
@@ -20,6 +27,9 @@ type t = {
   mutable next_fib : int;
   mutable tracer : Obs.Trace.t;
   mutable on_event : unit -> unit;
+  mutable sched : scheduler option;
+  mutable tracking : bool; (* inside a task slice, scheduler installed *)
+  mutable accesses : (int * int) list; (* slice footprint, reversed *)
 }
 
 exception Deadlock of int
@@ -55,6 +65,9 @@ let create ?(tie_break = Fifo) () =
     next_fib = 1;
     tracer = Obs.Trace.null;
     on_event = ignore;
+    sched = None;
+    tracking = false;
+    accesses = [];
   }
 
 let now eng = eng.now
@@ -67,6 +80,38 @@ let set_tracer eng tr =
   Obs.Trace.set_fibre tr (fun () -> eng.cur_fib)
 
 let set_event_hook eng hook = eng.on_event <- hook
+let set_scheduler eng s = eng.sched <- Some s
+let clear_scheduler eng = eng.sched <- None
+let tracking eng = eng.tracking
+
+let note_access eng a b =
+  if eng.tracking then eng.accesses <- (a, b) :: eng.accesses
+
+(* The two historical tie-break policies expressed as schedulers, so
+   the key-based heap order and the explicit choice-point API provably
+   agree (checked by tests).  The ready array is presented in [seq]
+   order, so FIFO is index 0 and Seeded is the argmin of the seeded
+   hash (ties already resolved by position). *)
+let fifo_scheduler =
+  {
+    sched_pick = (fun ~now:_ _ -> 0);
+    sched_step = (fun ~fib:_ ~accesses:_ -> ());
+  }
+
+let seeded_scheduler seed =
+  {
+    sched_pick =
+      (fun ~now:_ ready ->
+        let best = ref 0 in
+        for i = 1 to Array.length ready - 1 do
+          if
+            Hashtbl.seeded_hash seed ready.(i).rt_seq
+            < Hashtbl.seeded_hash seed ready.(!best).rt_seq
+          then best := i
+        done;
+        !best);
+    sched_step = (fun ~fib:_ ~accesses:_ -> ());
+  }
 
 let schedule eng ~daemon ~fib time run =
   let seq = eng.seq in
@@ -135,17 +180,58 @@ let run eng main =
      daemon) may still wake.  Once every user fibre has finished,
      pending daemon wakeups are discarded: a periodic daemon would
      otherwise keep the simulation alive forever. *)
+  (* Dispatch: with no scheduler installed the heap order (time, key,
+     seq) IS the policy and the popped minimum runs — the historical
+     fast path, byte-identical schedules.  With a scheduler, every
+     dispatch becomes an explicit choice point: the full set of
+     equal-time ready tasks is drained, presented in [seq] order, and
+     the scheduler picks one; the rest go back on the heap. *)
+  let dispatch () =
+    let task = Pqueue.pop eng.queue in
+    match eng.sched with
+    | None -> task
+    | Some s ->
+      let rec gather acc =
+        match Pqueue.pop_if eng.queue (fun t -> t.time = task.time) with
+        | Some t -> gather (t :: acc)
+        | None -> acc
+      in
+      let arr =
+        Array.of_list
+          (List.sort
+             (fun (a : task) (b : task) -> compare a.seq b.seq)
+             (gather [ task ]))
+      in
+      let ready =
+        Array.map
+          (fun t -> { rt_fib = t.fib; rt_seq = t.seq; rt_daemon = t.daemon })
+          arr
+      in
+      let idx = s.sched_pick ~now:task.time ready in
+      if idx < 0 || idx >= Array.length arr then
+        invalid_arg "Engine: scheduler picked an out-of-range ready task";
+      Array.iteri (fun i t -> if i <> idx then Pqueue.push eng.queue t) arr;
+      arr.(idx)
+  in
   let rec loop () =
     if
       eng.live_tasks > 0
       || (eng.live > 0 && not (Pqueue.is_empty eng.queue))
     then begin
-      let task = Pqueue.pop eng.queue in
+      let task = dispatch () in
       assert (task.time >= eng.now);
       eng.now <- task.time;
       eng.cur_fib <- task.fib;
       if not task.daemon then eng.live_tasks <- eng.live_tasks - 1;
-      task.run ();
+      (match eng.sched with
+      | None -> task.run ()
+      | Some s ->
+        eng.tracking <- true;
+        eng.accesses <- [];
+        Fun.protect ~finally:(fun () -> eng.tracking <- false) task.run;
+        let accesses = eng.accesses in
+        eng.accesses <- [];
+        s.sched_step ~fib:task.fib ~accesses);
       eng.on_event ();
       loop ()
     end

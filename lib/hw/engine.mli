@@ -26,7 +26,62 @@ type tie_break =
           is preserved; only genuinely concurrent work is permuted.
           The same seed always produces the same schedule. *)
 
+type ready_task = {
+  rt_fib : int;  (** fibre the task belongs to *)
+  rt_seq : int;  (** global schedule sequence number (spawn/wake order) *)
+  rt_daemon : bool;
+}
+(** One runnable task, as presented to a {!scheduler} at a dispatch
+    choice point. *)
+
+type scheduler = {
+  sched_pick : now:Sim_time.t -> ready_task array -> int;
+      (** Called at every dispatch with the complete set of ready
+          tasks at the minimal queued time, in [rt_seq] order (always
+          non-empty; often a singleton).  Must return the index of the
+          task to run.  Exceptions propagate out of {!run}. *)
+  sched_step : fib:int -> accesses:(int * int) list -> unit;
+      (** Called after the chosen task's slice completes (and before
+          the event hook), with the fibre that ran and the shared
+          objects the slice touched, as recorded by {!note_access}
+          (unordered, may contain duplicates). *)
+}
+(** An explicit scheduling policy.  The {!tie_break} heap keys are the
+    implicit, zero-overhead form of the same choice; {!fifo_scheduler}
+    and {!seeded_scheduler} are the two canned policies expressed
+    through this interface (the engine guarantees they produce the
+    same schedules as their key-based counterparts).  A model checker
+    installs its own scheduler to enumerate the choices instead. *)
+
 val create : ?tie_break:tie_break -> unit -> t
+
+val set_scheduler : t -> scheduler -> unit
+(** Route every dispatch through an explicit choice point.  Overrides
+    the [tie_break] policy while installed. *)
+
+val clear_scheduler : t -> unit
+
+val fifo_scheduler : scheduler
+(** Equivalent to [Fifo] through the choice-point API. *)
+
+val seeded_scheduler : int -> scheduler
+(** [seeded_scheduler seed] is equivalent to [Seeded seed] through the
+    choice-point API. *)
+
+val note_access : t -> int -> int -> unit
+(** [note_access eng a b] records that the running task's slice
+    touched the shared object identified by [(a, b)] — no-op unless a
+    scheduler is installed and a slice is executing.  The PVM notes
+    each fragment as [(cache id, offset)] and reserves negative first
+    components for object classes (frame pool, cache topology); the
+    engine treats the pairs as opaque.  Footprints feed the model
+    checker's independence relation: two slices commute unless their
+    footprints intersect. *)
+
+val tracking : t -> bool
+(** Whether {!note_access} currently records — true only inside a task
+    slice while a scheduler is installed.  Lets callers skip the work
+    of computing the object identity when nobody is listening. *)
 
 val now : t -> Sim_time.t
 (** Current simulated time. *)

@@ -61,3 +61,6 @@ let pop h =
   top
 
 let peek h = if h.size = 0 then None else Some h.data.(0)
+
+let pop_if h pred =
+  if h.size > 0 && pred h.data.(0) then Some (pop h) else None

@@ -16,3 +16,8 @@ val pop : 'a t -> 'a
     @raise Invalid_argument if the heap is empty. *)
 
 val peek : 'a t -> 'a option
+
+val pop_if : 'a t -> ('a -> bool) -> 'a option
+(** [pop_if h pred] removes and returns the minimum element when it
+    satisfies [pred]; leaves the heap untouched otherwise.  Used by
+    the engine to drain the set of equal-time ready tasks. *)

@@ -1,0 +1,376 @@
+(* The explorer explored: the scheduling choice-point API must
+   reproduce the canned policies exactly, the sequential model must
+   enumerate serializations correctly, and the DPOR search must (a)
+   prune independent interleavings, (b) distinguish genuinely racing
+   ones, and (c) catch the two historical PR 2 races when they are
+   reintroduced behind the For_testing flags — a model checker that
+   never finds a planted bug is indistinguishable from no model
+   checker. *)
+
+let ps = 8192
+
+(* --- canned schedulers through the choice-point API -------------- *)
+
+(* Eight equal-time fibres appending to a list, as in test_check, but
+   dispatched through an installed scheduler rather than the implicit
+   tie_break keys.  The engine guarantees the two forms coincide. *)
+let order_with prep =
+  let engine = Hw.Engine.create () in
+  prep engine;
+  let order = ref [] in
+  Hw.Engine.run_fn engine (fun () ->
+      for i = 1 to 8 do
+        Hw.Engine.spawn engine (fun () ->
+            Hw.Engine.sleep 10;
+            order := i :: !order)
+      done;
+      Hw.Engine.sleep 20);
+  List.rev !order
+
+let order_under tie =
+  let engine = Hw.Engine.create ~tie_break:tie () in
+  let order = ref [] in
+  Hw.Engine.run_fn engine (fun () ->
+      for i = 1 to 8 do
+        Hw.Engine.spawn engine (fun () ->
+            Hw.Engine.sleep 10;
+            order := i :: !order)
+      done;
+      Hw.Engine.sleep 20);
+  List.rev !order
+
+let test_canned_schedulers_match_tie_break () =
+  Alcotest.(check (list int))
+    "fifo scheduler = Fifo keys"
+    (order_under Hw.Engine.Fifo)
+    (order_with (fun e -> Hw.Engine.set_scheduler e Hw.Engine.fifo_scheduler));
+  List.iter
+    (fun seed ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "seeded scheduler = Seeded %d keys" seed)
+        (order_under (Hw.Engine.Seeded seed))
+        (order_with (fun e ->
+             Hw.Engine.set_scheduler e (Hw.Engine.seeded_scheduler seed))))
+    [ 1; 7; 42; 1234 ]
+
+(* The seeded policy keys tasks by [Hashtbl.seeded_hash seed seq];
+   hashes collide, and on a collision the comparator must fall back to
+   sequence order so the schedule stays a total, reproducible order.
+   Search out a genuine collision and feed it to the scheduler
+   directly. *)
+let test_seeded_hash_collision_resolves_in_seq_order () =
+  (* the hash range is 2^30, so by the birthday bound ~2^17 sequence
+     numbers all but guarantee a collision for any seed *)
+  let found = ref None in
+  (try
+     for seed = 0 to 3 do
+       let tbl = Hashtbl.create (1 lsl 18) in
+       for s = 0 to 200_000 do
+         let h = Hashtbl.seeded_hash seed s in
+         match Hashtbl.find_opt tbl h with
+         | Some s' ->
+           found := Some (seed, s', s);
+           raise Exit
+         | None -> Hashtbl.add tbl h s
+       done
+     done
+   with Exit -> ());
+  match !found with
+  | None -> Alcotest.fail "no seeded-hash collision in the search range"
+  | Some (seed, s1, s2) ->
+    let rt seq = { Hw.Engine.rt_fib = seq; rt_seq = seq; rt_daemon = false } in
+    (* the engine presents ready tasks sorted by seq *)
+    let ready = [| rt s1; rt s2 |] in
+    let sched = Hw.Engine.seeded_scheduler seed in
+    let pick = sched.Hw.Engine.sched_pick ~now:Hw.Sim_time.zero ready in
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: hash(%d) = hash(%d) resolves to lower seq" seed
+         s1 s2)
+      0 pick
+
+(* --- sequential reference model ---------------------------------- *)
+
+let w addr data = Check.Model.Write { addr; data }
+let r addr len = Check.Model.Read { addr; len }
+
+let test_model_count () =
+  Alcotest.(check int) "empty" 1 (Check.Model.count [||]);
+  Alcotest.(check int) "single fibre" 1 (Check.Model.count [| [| w 0 "a" |] |]);
+  Alcotest.(check int) "2x2 multinomial" 6
+    (Check.Model.count [| [| w 0 "a"; w 0 "b" |]; [| w 0 "c"; w 0 "d" |] |]);
+  Alcotest.(check int) "3 fibres of 1" 6
+    (Check.Model.count [| [| w 0 "a" |]; [| w 0 "b" |]; [| w 0 "c" |] |])
+
+let test_model_outcomes_write_write () =
+  (* two writers to the same byte: exactly the two orders survive *)
+  let out =
+    Check.Model.outcomes ~size:1 [| [| w 0 "a" |]; [| w 0 "b" |] |]
+  in
+  Alcotest.(check int) "two final states" 2 (Hashtbl.length out);
+  List.iter
+    (fun contents ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S-last serialization present" contents)
+        true
+        (Hashtbl.mem out
+           (Check.Model.digest_outcome ~contents ~reads:[| []; [] |])))
+    [ "a"; "b" ]
+
+let test_model_outcomes_read_visibility () =
+  (* a read races a write: it sees either the zero fill or the value *)
+  let out = Check.Model.outcomes ~size:1 [| [| w 0 "a" |]; [| r 0 1 |] |] in
+  Alcotest.(check int) "two observable outcomes" 2 (Hashtbl.length out);
+  List.iter
+    (fun seen ->
+      Alcotest.(check bool)
+        (Printf.sprintf "read-%S outcome present" seen)
+        true
+        (Hashtbl.mem out
+           (Check.Model.digest_outcome ~contents:"a" ~reads:[| []; [ seen ] |])))
+    [ "\000"; "a" ]
+
+(* --- observable state digest ------------------------------------- *)
+
+let in_sim f =
+  let engine = Hw.Engine.create () in
+  Hw.Engine.run_fn engine (fun () -> f engine)
+
+let test_digest_stable_and_sensitive () =
+  let digest_of extra =
+    in_sim (fun engine ->
+        let pvm = Core.Pvm.create ~frames:16 ~engine () in
+        let ctx = Core.Context.create pvm in
+        let cache = Core.Cache.create pvm () in
+        let _ =
+          Core.Region.create pvm ctx ~addr:0 ~size:(4 * ps)
+            ~prot:Hw.Prot.read_write cache ~offset:0
+        in
+        Core.Pvm.write pvm ctx ~addr:0 (Bytes.make 64 's');
+        if extra then Core.Pvm.write pvm ctx ~addr:8 (Bytes.make 8 'z');
+        Core.Inspect.digest pvm)
+  in
+  Alcotest.(check string) "rebuilding reproduces the digest"
+    (digest_of false) (digest_of false);
+  Alcotest.(check bool) "one extra write changes it" true
+    (digest_of false <> digest_of true)
+
+(* --- DPOR on toy scenarios --------------------------------------- *)
+
+(* Two fibres waking at the same instant and appending to a log.  When
+   they declare no shared objects the explorer must prove a single
+   schedule suffices; when they declare a common object it must explore
+   both orders and see both observable outcomes.  The observation
+   thunk runs inside the simulation and must synchronize with the
+   workload itself: sleeping past the appends is the join here. *)
+let toy ~conflict =
+  {
+    Check.Explore.name = "toy";
+    run =
+      (fun engine ~register:_ ->
+        let log = Buffer.create 8 in
+        for i = 0 to 1 do
+          Hw.Engine.spawn engine (fun () ->
+              Hw.Engine.sleep 10;
+              if conflict then Hw.Engine.note_access engine (-5) 0;
+              Buffer.add_string log (string_of_int i))
+        done;
+        fun () ->
+          Hw.Engine.sleep 50;
+          Buffer.contents log);
+  }
+
+let test_dpor_prunes_independent_fibres () =
+  let result = Check.Explore.run (toy ~conflict:false) in
+  let s = result.Check.Explore.r_stats in
+  Alcotest.(check bool) "no violation" true
+    (result.Check.Explore.r_violation = None);
+  Alcotest.(check bool) "exhausted" true s.Check.Explore.exhausted;
+  Alcotest.(check int) "one schedule suffices" 1 s.Check.Explore.schedules
+
+let test_dpor_explores_racing_fibres () =
+  let result = Check.Explore.run (toy ~conflict:true) in
+  let s = result.Check.Explore.r_stats in
+  Alcotest.(check bool) "no violation" true
+    (result.Check.Explore.r_violation = None);
+  Alcotest.(check bool) "exhausted" true s.Check.Explore.exhausted;
+  Alcotest.(check int) "both orders explored" 2 s.Check.Explore.schedules;
+  Alcotest.(check int) "both outcomes observed" 2
+    s.Check.Explore.distinct_outcomes
+
+let test_preemption_bound_modes () =
+  (* bound 0 still branches where no fibre is preempted — both wake
+     orders are non-preemptive schedules here — and a generous bound
+     recovers every interleaving of the toy race *)
+  let r0 = Check.Explore.run ~bound:0 (toy ~conflict:true) in
+  Alcotest.(check bool) "bound 0: no violation" true
+    (r0.Check.Explore.r_violation = None);
+  Alcotest.(check int) "bound 0: both non-preemptive orders" 2
+    r0.Check.Explore.r_stats.Check.Explore.schedules;
+  let r2 = Check.Explore.run ~bound:2 (toy ~conflict:true) in
+  Alcotest.(check bool) "bound 2: no violation" true
+    (r2.Check.Explore.r_violation = None);
+  Alcotest.(check bool) "bound 2: sees both outcomes" true
+    (r2.Check.Explore.r_stats.Check.Explore.distinct_outcomes >= 2)
+
+(* --- full-PVM programs under the refinement oracle ---------------- *)
+
+let site_setup ~frames ~pages engine =
+  let site =
+    Nucleus.Site.create ~frames ~swap_seek_time:(Hw.Sim_time.ms 4)
+      ~swap_transfer_time_per_page:(Hw.Sim_time.ms 1) ~engine ()
+  in
+  let pvm = site.Nucleus.Site.pvm in
+  let ctx = Core.Context.create pvm in
+  let cache = Core.Cache.create pvm () in
+  let size = pages * ps in
+  let _ =
+    Core.Region.create pvm ctx ~addr:0 ~size ~prot:Hw.Prot.read_write cache
+      ~offset:0
+  in
+  (pvm, ctx, size)
+
+let test_racing_writers_serializable () =
+  (* two fibres race a write and a read on the same page; every
+     explored schedule's outcome must be one of the model's
+     serializations *)
+  let prog = [| [| w 0 "aaaa"; r 16 4 |]; [| w 16 "bbbb"; r 0 4 |] |] in
+  let scenario =
+    Check.Explore.of_program ~name:"racing-writers"
+      ~setup:(site_setup ~frames:4 ~pages:1)
+      prog
+  in
+  let oracle =
+    Check.Explore.Outcomes (lazy (Check.Model.outcomes ~size:ps prog))
+  in
+  let result = Check.Explore.run ~oracle scenario in
+  let s = result.Check.Explore.r_stats in
+  (match result.Check.Explore.r_violation with
+  | None -> ()
+  | Some v ->
+    Alcotest.failf "unexpected violation: %a" Check.Explore.pp_violation v);
+  Alcotest.(check bool) "exhausted" true s.Check.Explore.exhausted;
+  Alcotest.(check bool) "schedules branch" true (s.Check.Explore.schedules > 1)
+
+(* --- mutation tests: the PR 2 races, reintroduced ----------------- *)
+
+let with_flag flag f =
+  flag := true;
+  Fun.protect ~finally:(fun () -> flag := false) f
+
+(* Race A (pager): evict yields between choosing a victim and claiming
+   its global-map entry, so two concurrent faults under memory
+   pressure can evict the same page twice.  The memory-pressure
+   program from the CLI's contend scenario, shrunk to two workers. *)
+let pressure_prog =
+  Array.init 2 (fun f ->
+      Array.concat
+        (List.init 2 (fun rd ->
+             let p = (f + rd) mod 3 in
+             [| w (p * ps) (String.make 16 (Char.chr (65 + f)));
+                r ((p + 1) mod 3 * ps) 8;
+             |])))
+
+let pressure_scenario =
+  Check.Explore.of_program ~name:"pressure"
+    ~setup:(site_setup ~frames:2 ~pages:3)
+    pressure_prog
+
+let test_catches_evict_claim_race () =
+  with_flag Check.Explore.For_testing.evict_claim_late (fun () ->
+      let result =
+        Check.Explore.run ~max_schedules:2000 pressure_scenario
+      in
+      match result.Check.Explore.r_violation with
+      | None ->
+        Alcotest.fail "explorer missed the reintroduced evict-claim race"
+      | Some v -> (
+        match Check.Explore.replay pressure_scenario v.Check.Explore.v_schedule with
+        | `Violation _ -> ()
+        | `Done _ | `Sleep ->
+          Alcotest.fail "replay did not reproduce the violation"))
+
+(* Race B (install): try_insert_fresh skips the lost-race probe, so
+   two concurrent zero-fill faults on the same page both insert a
+   descriptor — a structural invariant violation the per-event sweep
+   must catch.  Ample frames: this race needs no memory pressure. *)
+let double_insert_scenario =
+  Check.Explore.of_program ~name:"double-insert"
+    ~setup:(site_setup ~frames:8 ~pages:1)
+    [| [| w 0 "xxxx" |]; [| w 16 "yyyy" |] |]
+
+let test_catches_skipped_insert_probe () =
+  with_flag Check.Explore.For_testing.skip_insert_probe (fun () ->
+      let result =
+        Check.Explore.run ~max_schedules:2000 double_insert_scenario
+      in
+      match result.Check.Explore.r_violation with
+      | None ->
+        Alcotest.fail "explorer missed the reintroduced insert race"
+      | Some v -> (
+        match
+          Check.Explore.replay double_insert_scenario v.Check.Explore.v_schedule
+        with
+        | `Violation _ -> ()
+        | `Done _ | `Sleep ->
+          Alcotest.fail "replay did not reproduce the violation"))
+
+(* Both planted bugs off: the same scenarios must pass, or the
+   mutation tests prove nothing. *)
+let test_clean_scenarios_pass () =
+  List.iter
+    (fun scenario ->
+      let result = Check.Explore.run ~max_schedules:2000 scenario in
+      (match result.Check.Explore.r_violation with
+      | None -> ()
+      | Some v ->
+        Alcotest.failf "clean %s violates: %a" scenario.Check.Explore.name
+          Check.Explore.pp_violation v);
+      Alcotest.(check bool)
+        (scenario.Check.Explore.name ^ " exhausted")
+        true result.Check.Explore.r_stats.Check.Explore.exhausted)
+    [ pressure_scenario; double_insert_scenario ]
+
+let () =
+  Alcotest.run "explore"
+    [
+      ( "scheduler",
+        [
+          Alcotest.test_case "canned schedulers match tie_break" `Quick
+            test_canned_schedulers_match_tie_break;
+          Alcotest.test_case "seeded hash collision resolves in seq order"
+            `Quick test_seeded_hash_collision_resolves_in_seq_order;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "count" `Quick test_model_count;
+          Alcotest.test_case "write/write outcomes" `Quick
+            test_model_outcomes_write_write;
+          Alcotest.test_case "read visibility" `Quick
+            test_model_outcomes_read_visibility;
+        ] );
+      ( "digest",
+        [
+          Alcotest.test_case "stable and sensitive" `Quick
+            test_digest_stable_and_sensitive;
+        ] );
+      ( "dpor",
+        [
+          Alcotest.test_case "prunes independent fibres" `Quick
+            test_dpor_prunes_independent_fibres;
+          Alcotest.test_case "explores racing fibres" `Quick
+            test_dpor_explores_racing_fibres;
+          Alcotest.test_case "preemption bound modes" `Quick
+            test_preemption_bound_modes;
+          Alcotest.test_case "racing writers serializable" `Quick
+            test_racing_writers_serializable;
+        ] );
+      ( "mutation",
+        [
+          Alcotest.test_case "clean scenarios pass" `Quick
+            test_clean_scenarios_pass;
+          Alcotest.test_case "catches evict-claim race" `Quick
+            test_catches_evict_claim_race;
+          Alcotest.test_case "catches skipped insert probe" `Quick
+            test_catches_skipped_insert_probe;
+        ] );
+    ]
