@@ -1,14 +1,18 @@
 (* Benchmark harness regenerating the paper's evaluation (§5.3).
 
-   Usage: main.exe [--metrics-out FILE] [--tie-seed N] [SUBCOMMAND...]
+   Usage: main.exe [--metrics-out FILE] [--tie-seed N] [--flight]
+                   [SUBCOMMAND...]
    With no subcommand everything runs (the order follows the paper);
    [--metrics-out] additionally writes the printed table cells as JSON
    (see Report); [--tie-seed] perturbs the engine's scheduling of
-   equal-time fibres — results must not change (CI compares). *)
+   equal-time fibres — results must not change (CI compares);
+   [--flight] attaches an enabled flight recorder to every engine —
+   results must not change either (the recorder must never perturb a
+   schedule; CI compares byte-for-byte). *)
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--metrics-out FILE] [--tie-seed N] \
+    "usage: main.exe [--metrics-out FILE] [--tie-seed N] [--flight] \
      [all|table5|table6|table7|prelim|derived|primitives|fig3|\
      ablation-chains|ablation-segcache|ablation-pervpage|ablation-ipc|\
      ablation-dsm|macro|bechamel]";
@@ -59,6 +63,9 @@ let () =
       (match int_of_string_opt seed with
       | Some n -> Util.tie_break := Hw.Engine.Seeded n
       | None -> usage ());
+      parse rest
+    | "--flight" :: rest ->
+      Util.flight_on := true;
       parse rest
     | [ "--metrics-out" ] | [ "--tie-seed" ] -> usage ()
     | cmds -> cmds

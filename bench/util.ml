@@ -8,9 +8,19 @@ let kb n = n * 1024
    come out byte-identical regardless — CI compares the outputs. *)
 let tie_break = ref Hw.Engine.Fifo
 
+(* Always-on-path check (--flight): when set, every engine carries an
+   enabled flight recorder.  Recording must be free at the schedule
+   level — CI asserts the bench output stays byte-identical. *)
+let flight_on = ref false
+
 (* Run [f] in a fresh discrete-event engine and return its result. *)
 let in_sim f =
   let engine = Hw.Engine.create ~tie_break:!tie_break () in
+  if !flight_on then begin
+    let fl = Obs.Flight.create () in
+    Obs.Flight.enable fl;
+    Hw.Engine.set_flight engine fl
+  end;
   Hw.Engine.run_fn engine (fun () -> f engine)
 
 (* Simulated time consumed by [f], in nanoseconds. *)

@@ -9,6 +9,18 @@
                         Figure 2 structures
      trace SCENARIO     capture a Chrome trace of a scenario
      stats SCENARIO     print the metrics-registry report of a scenario
+     check SCENARIO     sanitizer + schedule-perturbation harness
+     explore SCENARIO   DPOR schedule exploration
+     profile SCENARIO   cost-attribution profile
+     replay BUNDLE      deterministically re-execute a crash bundle
+
+   Failure forensics: check and explore write a crash bundle
+   (Obs.Bundle, schema chorus-bundle/1) whenever a sanitizer sweep, a
+   blocking-discipline breach, the watchdog or an uncaught exception
+   kills a run; replay re-drives the bundle's recorded schedule
+   decision-for-decision and asserts the same failure reappears.  The
+   trace/profile/bench paths accept --flight to dump the flight
+   recorder's ring for the same runs.
 
    The full evaluation lives in bench/main.exe; the walkthroughs in
    examples/. *)
@@ -300,12 +312,35 @@ let scenario_entry name =
 
 let scenario_body name = fst (scenario_entry name)
 
-let trace scenario out =
+let write_file ~cmd file contents =
+  try Out_channel.with_open_text file (fun oc -> output_string oc contents)
+  with Sys_error msg ->
+    Printf.eprintf "chorus %s: %s\n" cmd msg;
+    exit 1
+
+(* --flight: attach an enabled flight recorder to the run's engine and
+   dump its ring + decision log as JSON afterwards. *)
+let attach_flight engine =
+  let fl = Obs.Flight.create () in
+  Obs.Flight.enable fl;
+  Hw.Engine.set_flight engine fl;
+  fl
+
+let dump_flight ~cmd fl file =
+  write_file ~cmd file (Obs.Json.to_string (Obs.Flight.to_json fl) ^ "\n");
+  Printf.printf
+    "wrote %s (flight ring: %d records, %d decisions, %d dropped)\n" file
+    (Obs.Flight.length fl)
+    (Obs.Flight.decision_count fl)
+    (Obs.Flight.dropped fl)
+
+let trace scenario out flight_out =
   let body = scenario_body scenario in
   let tr = Obs.Trace.create () in
   let engine = Hw.Engine.create () in
   Hw.Engine.set_tracer engine tr;
   Obs.Trace.enable tr;
+  let fl = Option.map (fun _ -> attach_flight engine) flight_out in
   let _pvms = Hw.Engine.run_fn engine (fun () -> body engine) in
   let json = Obs.Trace.to_chrome_json tr in
   (match out with
@@ -326,12 +361,33 @@ let trace scenario out =
     Printf.eprintf
       "chorus trace: warning: the ring buffer overwrote %d events; the \
        trace is only a suffix of the run\n"
-      (Obs.Trace.dropped tr)
+      (Obs.Trace.dropped tr);
+  match (flight_out, fl) with
+  | Some file, Some fl -> dump_flight ~cmd:"trace" fl file
+  | _ -> ()
 
 let stats scenario json_out =
   let body = scenario_body scenario in
   let engine = Hw.Engine.create () in
+  let tr = Obs.Trace.create () in
+  Hw.Engine.set_tracer engine tr;
+  Obs.Trace.enable tr;
   let pvms = Hw.Engine.run_fn engine (fun () -> body engine) in
+  (* Publish the trace ring's own accounting into every registry so
+     the drop counter shows up in the text report and the JSON alike:
+     a silently truncated trace must be visible in the stats. *)
+  List.iter
+    (fun pvm ->
+      let m = Core.Pvm.metrics pvm in
+      Obs.Metrics.set (Obs.Metrics.counter m "trace.events")
+        (Obs.Trace.length tr);
+      Obs.Metrics.set (Obs.Metrics.counter m "trace.dropped")
+        (Obs.Trace.dropped tr))
+    pvms;
+  if Obs.Trace.dropped tr > 0 then
+    Printf.eprintf
+      "chorus stats: warning: the trace ring overwrote %d events\n"
+      (Obs.Trace.dropped tr);
   let many = List.length pvms > 1 in
   List.iteri
     (fun i pvm ->
@@ -364,18 +420,16 @@ let stats scenario json_out =
    separate engines so their charges cannot mix — and checks each
    derived decomposition against the paper's published numbers. *)
 
-let write_file ~cmd file contents =
-  try Out_channel.with_open_text file (fun oc -> output_string oc contents)
-  with Sys_error msg ->
-    Printf.eprintf "chorus %s: %s\n" cmd msg;
-    exit 1
-
-let run_traced f =
+let run_traced ?flight_out f =
   let tr = Obs.Trace.create () in
   let engine = Hw.Engine.create () in
   Hw.Engine.set_tracer engine tr;
   Obs.Trace.enable tr;
+  let fl = Option.map (fun _ -> attach_flight engine) flight_out in
   let r = Hw.Engine.run_fn engine (fun () -> f engine) in
+  (match (flight_out, fl) with
+  | Some file, Some fl -> dump_flight ~cmd:"profile" fl file
+  | _ -> ());
   (r, Obs.Profile.of_trace tr)
 
 (* One Table-6 cycle (zero-fill 128 pages of a 1024 Kb region) then
@@ -487,8 +541,8 @@ let check_derived label (d : Obs.Profile.derived) paper =
   row "protect" "page" d.protect_ns;
   !worst
 
-let profile_decomp folded json_out =
-  let (), chorus_prof = run_traced decomp_chorus in
+let profile_decomp folded json_out flight_out =
+  let (), chorus_prof = run_traced ?flight_out decomp_chorus in
   let (), mach_prof = run_traced decomp_mach in
   Format.printf "=== Chorus (PVM, history objects) ===@.%a@." Obs.Profile.pp
     chorus_prof;
@@ -535,11 +589,11 @@ let profile_decomp folded json_out =
     exit 1
   end
 
-let profile scenario folded json_out =
-  if String.equal scenario "decomp" then profile_decomp folded json_out
+let profile scenario folded json_out flight_out =
+  if String.equal scenario "decomp" then profile_decomp folded json_out flight_out
   else begin
     let body = scenario_body scenario in
-    let pvms, prof = run_traced (fun engine -> body engine) in
+    let pvms, prof = run_traced ?flight_out (fun engine -> body engine) in
     Format.printf "%a@." Obs.Profile.pp prof;
     let residencies = List.map Core.Inspect.residency pvms in
     let many = List.length residencies > 1 in
@@ -610,37 +664,84 @@ let content_digest engine pvms =
         pvms;
       Digest.to_hex (Digest.string (Buffer.contents b)))
 
-let check scenario seeds every_event =
+let check scenario seeds every_event bundle_dir =
   let body, deterministic = scenario_entry scenario in
   let failures = ref 0 in
   let fail label fmt =
     incr failures;
     Format.eprintf ("%s: " ^^ fmt ^^ "@.") label
   in
+  (* Exit discipline: 1 = a violation was found (and bundled), 2 = the
+     harness itself broke (also bundled, as kind "crash"). *)
+  let write_bundle ~kind ~detail ~engine ~pvms =
+    let bundle =
+      Check.Forensics.capture_live ~scenario ~kind ~detail ~engine ~pvms ()
+    in
+    let path = Obs.Bundle.write ~dir:bundle_dir bundle in
+    Printf.eprintf
+      "chorus check: wrote crash bundle %s (re-drive it with: chorus replay \
+       %s)\n"
+      path path
+  in
   let run_one label tie =
     let engine = Hw.Engine.create ~tie_break:tie () in
     let tr = Obs.Trace.create () in
     Hw.Engine.set_tracer engine tr;
     Obs.Trace.enable tr;
+    let _fl = attach_flight engine in
+    Hw.Engine.enable_watchdog engine ();
     let registered = ref [] in
     let register pvm = registered := pvm :: !registered in
     if every_event then
       Hw.Engine.set_event_hook engine (fun () ->
+          (* fail fast — [Sanitizer.Failed] freezes the PVM exactly at
+             the first bad event, which is what the bundle wants *)
           List.iter
-            (fun pvm ->
-              match Check.Sanitizer.run ~strict:false pvm with
-              | [] -> ()
-              | vs ->
-                fail label "structural sweep failed mid-run:@,%a"
-                  (fun ppf -> Check.Sanitizer.report ppf pvm)
-                  vs)
+            (fun pvm -> Check.Sanitizer.assert_ok ~strict:false ~label pvm)
             !registered);
-    let pvms = Hw.Engine.run_fn engine (fun () -> body ~register engine) in
+    let pvms =
+      try Hw.Engine.run_fn engine (fun () -> body ~register engine) with
+      | Check.Sanitizer.Failed detail ->
+        let pvms = List.rev !registered in
+        write_bundle ~kind:"invariant" ~detail ~engine ~pvms;
+        fail label "structural sweep failed mid-run:@,%s" detail;
+        Printf.eprintf "chorus check %s: %d failure(s)\n" scenario !failures;
+        exit 1
+      | Hw.Engine.Watchdog diag ->
+        let pvms = List.rev !registered in
+        write_bundle ~kind:"watchdog" ~detail:diag ~engine ~pvms;
+        fail label "watchdog: %s" diag;
+        Printf.eprintf "chorus check %s: %d failure(s)\n" scenario !failures;
+        exit 1
+      | Hw.Engine.Deadlock n ->
+        let pvms = List.rev !registered in
+        let detail =
+          Printf.sprintf "%d fibre(s) still suspended\n%s" n
+            (Hw.Engine.blocked_report engine)
+        in
+        write_bundle ~kind:"deadlock" ~detail ~engine ~pvms;
+        fail label "deadlock: %s" detail;
+        Printf.eprintf "chorus check %s: %d failure(s)\n" scenario !failures;
+        exit 1
+      | e ->
+        let pvms = List.rev !registered in
+        write_bundle ~kind:"crash" ~detail:(Printexc.to_string e) ~engine
+          ~pvms;
+        Printf.eprintf "chorus check %s: harness error: %s\n" scenario
+          (Printexc.to_string e);
+        exit 2
+    in
     List.iteri
       (fun i pvm ->
         match Check.Sanitizer.run ~strict:true pvm with
         | [] -> ()
         | vs ->
+          write_bundle ~kind:"invariant"
+            ~detail:
+              (Format.asprintf "%a"
+                 (fun ppf () -> Check.Sanitizer.report ppf pvm vs)
+                 ())
+            ~engine ~pvms;
           fail label "pvm %d failed the quiescent sweep:@,%a" i
             (fun ppf -> Check.Sanitizer.report ppf pvm)
             vs)
@@ -725,7 +826,7 @@ let explore_contend_prog =
    several legal serializations, so the oracle is the Model's outcome
    set rather than a single digest. *)
 let explore_contend_scenario =
-  Check.Explore.of_program ~name:"contend"
+  Check.Explore.of_program ~name:"contend-model"
     ~setup:(fun engine ->
       let site =
         Nucleus.Site.create ~frames:3 ~swap_seek_time:(Hw.Sim_time.ms 4)
@@ -742,6 +843,47 @@ let explore_contend_scenario =
       (pvm, ctx, size))
     explore_contend_prog
 
+(* A smaller pressure shape for the forensics pipeline: two Model
+   workers over three pages and only two frames, so every operation
+   contends for a frame.  Under an armed [evict-claim-late] injection
+   this is the fixture that deterministically reproduces the blocking-
+   discipline race (the same shape the explorer regression tests
+   use), which makes it CI's forced-failure scenario. *)
+let explore_pressure_pages = 3
+
+let explore_pressure_prog =
+  explore_prog ~workers:2 ~rounds:2 ~pages:explore_pressure_pages
+
+let explore_pressure_scenario =
+  Check.Explore.of_program ~name:"pressure"
+    ~setup:(fun engine ->
+      let site =
+        Nucleus.Site.create ~frames:2 ~swap_seek_time:(Hw.Sim_time.ms 4)
+          ~swap_transfer_time_per_page:(Hw.Sim_time.ms 1) ~engine ()
+      in
+      let pvm = site.Nucleus.Site.pvm in
+      let ctx = Core.Context.create pvm in
+      let cache = Core.Cache.create pvm () in
+      let size = explore_pressure_pages * ps in
+      let _ =
+        Core.Region.create pvm ctx ~addr:0 ~size ~prot:Hw.Prot.read_write
+          cache ~offset:0
+      in
+      (pvm, ctx, size))
+    explore_pressure_prog
+
+(* A chorus scenario body lifted into the Explore/Forensics scenario
+   shape: run the body, observe the concatenated Inspect digests. *)
+let wrapped_scenario name =
+  let body = scenario_body name in
+  {
+    Check.Explore.name;
+    run =
+      (fun engine ~register ->
+        let pvms = body ~register engine in
+        fun () -> String.concat "+" (List.map Core.Inspect.digest pvms));
+  }
+
 let explore_scenario name =
   if String.equal name "contend" then
     ( explore_contend_scenario,
@@ -750,27 +892,51 @@ let explore_scenario name =
           (Check.Model.outcomes
              ~size:(explore_contend_pages * ps)
              explore_contend_prog)) )
+  else if String.equal name "pressure" then
+    ( explore_pressure_scenario,
+      Check.Explore.Outcomes
+        (lazy
+          (Check.Model.outcomes
+             ~size:(explore_pressure_pages * ps)
+             explore_pressure_prog)) )
   else
-    let body, deterministic = scenario_entry name in
-    ( {
-        Check.Explore.name;
-        run =
-          (fun engine ~register ->
-            let pvms = body ~register engine in
-            fun () -> String.concat "+" (List.map Core.Inspect.digest pvms));
-      },
+    let _, deterministic = scenario_entry name in
+    ( wrapped_scenario name,
       if deterministic then Check.Explore.Schedule_independent
       else Check.Explore.No_oracle )
 
-let explore scenario bound max_schedules show_stats schedule_out =
+(* Map a bundle's recorded scenario name back to the forced-replay
+   scenario that produced it.  Explore bundles carry the Model-program
+   names ("contend-model", "pressure"); check bundles carry the chorus
+   scenario name, whose body wraps identically under the forced
+   driver. *)
+let forced_scenario name =
+  if String.equal name "contend-model" then explore_contend_scenario
+  else if String.equal name "pressure" then explore_pressure_scenario
+  else wrapped_scenario name
+
+let explore scenario bound max_schedules show_stats schedule_out inject
+    bundle_dir =
   let scen, oracle = explore_scenario scenario in
+  (match
+     List.find_opt
+       (fun n -> not (List.mem_assoc n Check.Forensics.injections))
+       inject
+   with
+  | Some n ->
+    Printf.eprintf "chorus explore: unknown injection '%s' (available: %s)\n"
+      n
+      (String.concat ", " (List.map fst Check.Forensics.injections));
+    exit 2
+  | None -> ());
+  Check.Forensics.with_injections inject @@ fun () ->
   let result = Check.Explore.run ?bound ?max_schedules ~oracle scen in
   let s = result.Check.Explore.r_stats in
   match result.Check.Explore.r_violation with
   | None ->
     Printf.printf
       "chorus explore %s: OK — %d schedules (%s%s), %d distinct outcomes, %d \
-       reversible races, %d sleep-set + %d bound prunes\n"
+       reversible races, %d sleep-set + %d bound prunes%s\n"
       scenario s.Check.Explore.schedules
       (match bound with
       | None -> "exhaustive DPOR"
@@ -778,7 +944,10 @@ let explore scenario bound max_schedules show_stats schedule_out =
       (if s.exhausted then "" else "; budget hit, NOT exhausted")
       s.distinct_outcomes s.races
       (s.sleep_blocked + s.sleep_skips)
-      s.bound_pruned;
+      s.bound_pruned
+      (match inject with
+      | [] -> ""
+      | is -> Printf.sprintf " [injected: %s]" (String.concat ", " is));
     if show_stats then Format.printf "%a@." Check.Explore.pp_stats s
   | Some v ->
     Format.eprintf "chorus explore %s: FAILED@.%a@." scenario
@@ -789,6 +958,12 @@ let explore scenario bound max_schedules show_stats schedule_out =
       Format.eprintf "replay of the offending schedule reproduces: %s@." kind
     | `Done _ | `Sleep ->
       Format.eprintf "warning: replay did not reproduce the violation@.");
+    let bundle, _ =
+      Check.Forensics.capture ~inject scen v.Check.Explore.v_schedule
+    in
+    let path = Obs.Bundle.write ~dir:bundle_dir bundle in
+    Printf.printf "wrote crash bundle %s (re-drive it with: chorus replay %s)\n"
+      path path;
     Option.iter
       (fun file ->
         let doc =
@@ -809,6 +984,43 @@ let explore scenario bound max_schedules show_stats schedule_out =
       schedule_out;
     exit 1
 
+(* chorus replay BUNDLE: re-execute a crash bundle's recorded schedule
+   decision-for-decision through the forced-pick driver (re-arming any
+   recorded fault injections) and require the identical failure —
+   kind, per-PVM Inspect digests and sanitizer verdicts. *)
+let replay_bundle path =
+  match Obs.Bundle.read path with
+  | Error msg ->
+    Printf.eprintf "chorus replay: %s\n" msg;
+    exit 2
+  | Ok b ->
+    let scen = forced_scenario b.Obs.Bundle.scenario in
+    Printf.printf "replaying %s:\n  scenario %s, %d decisions%s, recorded \
+                   failure %s at t=%s\n"
+      path b.Obs.Bundle.scenario
+      (List.length b.Obs.Bundle.schedule)
+      (match b.Obs.Bundle.inject with
+      | [] -> ""
+      | is -> Printf.sprintf ", injections [%s]" (String.concat ", " is))
+      b.Obs.Bundle.kind
+      (Format.asprintf "%a" Hw.Sim_time.pp b.Obs.Bundle.sim_now);
+    let outcome = Check.Forensics.replay scen b in
+    let first_line s =
+      match String.index_opt s '\n' with
+      | Some i -> String.sub s 0 i ^ " ..."
+      | None -> s
+    in
+    Printf.printf "replay outcome: %s — %s\n" outcome.Check.Forensics.o_kind
+      (first_line outcome.Check.Forensics.o_detail);
+    (match Check.Forensics.reproduces b outcome with
+    | Ok () ->
+      Printf.printf
+        "reproduced: failure kind, state digests and sanitizer verdicts \
+         match the bundle\n"
+    | Error msg ->
+      Printf.eprintf "chorus replay: bundle NOT reproduced:\n%s\n" msg;
+      exit 1)
+
 let n_arg ~doc default =
   Arg.(value & pos 0 int default & info [] ~docv:"N" ~doc)
 
@@ -817,6 +1029,34 @@ let scenario_arg =
     required
     & pos 0 (some string) None
     & info [] ~docv:"SCENARIO" ~doc:"one of: fig3, fork, dsm, ipc, contend")
+
+let explore_scenario_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"SCENARIO"
+        ~doc:"one of: fig3, fork, dsm, ipc, contend, pressure")
+
+let flight_arg cmd =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight" ] ~docv:"FILE"
+        ~doc:
+          (Printf.sprintf
+             "additionally run the %s with the flight recorder enabled and \
+              write its ring and decision log as JSON to $(docv)"
+             cmd))
+
+let bundle_dir_arg cmd =
+  Arg.(
+    value & opt string "."
+    & info [ "bundle-dir" ] ~docv:"DIR"
+        ~doc:
+          (Printf.sprintf
+             "directory %s writes crash bundles to on failure (created if \
+              missing; default: the current directory)"
+             cmd))
 
 let cmds =
   [
@@ -844,7 +1084,8 @@ let cmds =
             value
             & opt (some string) None
             & info [ "o"; "output" ] ~docv:"FILE"
-                ~doc:"write the trace to $(docv) instead of stdout"));
+                ~doc:"write the trace to $(docv) instead of stdout")
+        $ flight_arg "trace");
     Cmd.v
       (Cmd.info "check"
          ~doc:
@@ -852,7 +1093,10 @@ let cmds =
             the schedule-perturbation harness: N seeded reorderings of \
             equal-time fibres, each swept for invariant violations and \
             \xc2\xa73.3.3 blocking-discipline breaches, with outcomes \
-            compared across schedules")
+            compared across schedules.  Every run carries the flight \
+            recorder and the stall watchdog; any sanitizer violation, \
+            deadlock, watchdog alarm or crash writes a replayable crash \
+            bundle (exit 1 for a violation, 2 for a harness error)")
       Term.(
         const check $ scenario_arg
         $ Arg.(
@@ -864,7 +1108,8 @@ let cmds =
             & info [ "every-event" ]
                 ~doc:
                   "additionally run the structural invariant sweep after \
-                   every engine event (slow)"));
+                   every engine event (slow)")
+        $ bundle_dir_arg "check");
     Cmd.v
       (Cmd.info "explore"
          ~doc:
@@ -876,9 +1121,11 @@ let cmds =
             ($(b,contend): the sequential flat-memory model's \
             serializations; others: schedule-independent observable \
             digest).  On a violation the minimal offending schedule is \
-            replayed and can be saved with $(b,--schedule-out)")
+            replayed, written out as a crash bundle for $(b,chorus replay) \
+            and can be saved with $(b,--schedule-out).  $(b,--inject) arms \
+            a named fault (recorded in the bundle) to force a failure")
       Term.(
-        const explore $ scenario_arg
+        const explore $ explore_scenario_arg
         $ Arg.(
             value
             & opt (some int) None
@@ -898,7 +1145,31 @@ let cmds =
             value
             & opt (some string) None
             & info [ "schedule-out" ] ~docv:"FILE"
-                ~doc:"on failure, write the offending schedule as JSON"));
+                ~doc:"on failure, write the offending schedule as JSON")
+        $ Arg.(
+            value & opt_all string []
+            & info [ "inject" ] ~docv:"FAULT"
+                ~doc:
+                  "arm a named fault injection for the exploration \
+                   (repeatable): evict-claim-late, skip-insert-probe")
+        $ bundle_dir_arg "explore");
+    Cmd.v
+      (Cmd.info "replay"
+         ~doc:
+           "deterministically re-execute a crash bundle written by \
+            $(b,chorus check) or $(b,chorus explore): re-arm its recorded \
+            fault injections, drive the engine through the bundle's \
+            schedule-decision prefix with the forced-pick scheduler, and \
+            require the identical failure — same kind, same per-PVM \
+            Inspect digests, same sanitizer verdicts.  Exit 0 when \
+            reproduced, 1 when the replay diverges, 2 when the bundle \
+            cannot be read")
+      Term.(
+        const replay_bundle
+        $ Arg.(
+            required
+            & pos 0 (some string) None
+            & info [] ~docv:"BUNDLE" ~doc:"path to a chorus-bundle/1 JSON"));
     Cmd.v
       (Cmd.info "stats"
          ~doc:
@@ -944,7 +1215,8 @@ let cmds =
             & info [ "json" ] ~docv:"FILE"
                 ~doc:
                   "write the profile as JSON (schema chorus-profile/1) to \
-                   $(docv)"));
+                   $(docv)")
+        $ flight_arg "profile");
   ]
 
 let () =

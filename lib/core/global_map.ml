@@ -38,6 +38,8 @@ let remove pvm cache ~off =
 let rec wait_not_in_transit pvm cache ~off =
   match peek pvm cache ~off with
   | Some (Sync_stub cond) ->
+    Hw.Engine.declare_wait pvm.engine ~on:"transfer"
+      ~owner:(Hw.Engine.Cond.owner cond) ();
     Hw.Engine.Cond.wait cond;
     wait_not_in_transit pvm cache ~off
   | other -> other
@@ -50,6 +52,9 @@ let rec wait_not_in_transit pvm cache ~off =
    otherwise two fibres can both elect it for pull-in or eviction. *)
 let insert_sync_stub pvm cache ~off =
   let cond = Hw.Engine.Cond.create () in
+  (* the inserting fibre drives the transfer: waiters blocked on this
+     stub are blocked on it, and the watchdog walks that edge *)
+  Hw.Engine.Cond.set_owner cond (Hw.Engine.current_fibre pvm.engine);
   set pvm cache ~off (Sync_stub cond);
   charge pvm Hw.Cost.Stub_insert;
   cond

@@ -290,6 +290,142 @@ let digest (pvm : pvm) : string =
     (List.length pvm.reclaim);
   Digest.to_hex (Digest.string (Buffer.contents b))
 
+(* --- Full-state JSON (crash bundles) ------------------------------ *)
+
+(* The same observable state the digest hashes, kept structured: what
+   a crash bundle stores so a human can read the failure state and a
+   replay can be checked against it field by field.  Page contents are
+   carried as MD5 hex (like the digest), not raw bytes — bundles stay
+   small and the comparison is still exact. *)
+let state_json (pvm : pvm) : Obs.Json.t =
+  let num n = Obs.Json.Num (float_of_int n) in
+  let ps = page_size pvm in
+  let cache_json (c : cache) =
+    let parents =
+      List.map
+        (fun (f : frag) ->
+          Obs.Json.Obj
+            [
+              ("off", num f.f_off);
+              ("size", num f.f_size);
+              ("parent", num f.f_parent.c_id);
+              ("parent_off", num f.f_parent_off);
+              ( "policy",
+                Obs.Json.Str
+                  (match f.f_policy with
+                  | `Copy_on_write -> "cow"
+                  | `Copy_on_reference -> "cor") );
+            ])
+        c.c_parents
+    in
+    let pages =
+      List.sort (fun (a : page) b -> compare a.p_offset b.p_offset) c.c_pages
+      |> List.map (fun (p : page) ->
+             Obs.Json.Obj
+               [
+                 ("off", num p.p_offset);
+                 ("cow_protected", Obs.Json.Bool p.p_cow_protected);
+                 ( "md5",
+                   Obs.Json.Str
+                     (Digest.to_hex
+                        (Digest.bytes
+                           (Hw.Phys_mem.read p.p_frame ~off:0 ~len:ps))) );
+               ])
+    in
+    let stubs =
+      Hashtbl.fold
+        (fun (cid, o) entry acc ->
+          if cid <> c.c_id then acc
+          else
+            match entry with
+            | Cow_stub s ->
+              let source =
+                match s.cs_source with
+                | Src_page p ->
+                  Obs.Json.Obj
+                    [
+                      ("kind", Obs.Json.Str "page");
+                      ("cache", num p.p_cache.c_id);
+                      ("off", num p.p_offset);
+                    ]
+                | Src_cache (sc, so) ->
+                  Obs.Json.Obj
+                    [
+                      ("kind", Obs.Json.Str "cache");
+                      ("cache", num sc.c_id);
+                      ("off", num so);
+                    ]
+              in
+              (o, Obs.Json.Obj [ ("off", num o); ("source", source) ]) :: acc
+            | Sync_stub _ ->
+              ( o,
+                Obs.Json.Obj [ ("off", num o); ("sync", Obs.Json.Bool true) ] )
+              :: acc
+            | Resident _ -> acc)
+        pvm.gmap []
+      |> List.sort compare |> List.map snd
+    in
+    let swapped =
+      Hashtbl.fold (fun o () acc -> o :: acc) c.c_backed_offs []
+      |> List.sort compare |> List.map num
+    in
+    Obs.Json.Obj
+      [
+        ("id", num c.c_id);
+        ("history", Obs.Json.Bool c.c_is_history);
+        ("alive", Obs.Json.Bool c.c_alive);
+        ("zombie", Obs.Json.Bool c.c_zombie);
+        ("anonymous", Obs.Json.Bool c.c_anonymous);
+        ("parents", Obs.Json.List parents);
+        ("pages", Obs.Json.List pages);
+        ("stubs", Obs.Json.List stubs);
+        ("swapped", Obs.Json.List swapped);
+      ]
+  in
+  let context_json (ctx : context) =
+    Obs.Json.Obj
+      [
+        ("id", num ctx.ctx_id);
+        ("alive", Obs.Json.Bool ctx.ctx_alive);
+        ( "regions",
+          Obs.Json.List
+            (List.map
+               (fun (r : region) ->
+                 Obs.Json.Obj
+                   [
+                     ("addr", num r.r_addr);
+                     ("size", num r.r_size);
+                     ("prot", Obs.Json.Str (Hw.Prot.to_string r.r_prot));
+                     ("cache", num r.r_cache.c_id);
+                     ("off", num r.r_offset);
+                     ("locked", Obs.Json.Bool r.r_locked);
+                     ("alive", Obs.Json.Bool r.r_alive);
+                   ])
+               ctx.ctx_regions) );
+      ]
+  in
+  Obs.Json.Obj
+    [
+      ("digest", Obs.Json.Str (digest pvm));
+      ( "caches",
+        Obs.Json.List
+          (List.map cache_json
+             (List.sort (fun a b -> compare a.c_id b.c_id) pvm.caches)) );
+      ( "contexts",
+        Obs.Json.List
+          (List.map context_json
+             (List.sort (fun a b -> compare a.ctx_id b.ctx_id) pvm.contexts))
+      );
+      ( "frames",
+        Obs.Json.Obj
+          [
+            ("free", num (Hw.Phys_mem.free_frames pvm.mem));
+            ("held", num (frames_held pvm));
+            ("reclaim", num (List.length pvm.reclaim));
+          ] );
+      ("residency", residency_json (residency pvm));
+    ]
+
 (* --- Invariant accessors (used by the Check.Sanitizer sweep) ----- *)
 
 let pages (pvm : pvm) = List.concat_map (fun c -> c.c_pages) pvm.caches

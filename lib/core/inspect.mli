@@ -63,6 +63,15 @@ val digest : Types.pvm -> string
     scenarios are schedule-independent, and by the schedule explorer's
     refinement oracle. *)
 
+val state_json : Types.pvm -> Obs.Json.t
+(** The full observable state — every field {!digest} hashes, kept
+    structured — plus a ["digest"] field and a nested ["residency"]
+    snapshot.  Page contents appear as MD5 hex, so the object is
+    compact yet compares exactly.  This is the state section of a
+    crash bundle; round-tripping it through {!Obs.Json} is lossless
+    (integers only), so a bundle's recorded digest can be checked
+    against a replayed run's. *)
+
 val pages : Types.pvm -> Types.page list
 (** Every resident page descriptor, across all caches. *)
 

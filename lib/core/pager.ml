@@ -130,6 +130,7 @@ let evict pvm (page : page) =
      allocator can elect the same victim (double-freeing its frame)
      and a concurrent fault can map the dying page (§3.3.3). *)
   let cond = Hw.Engine.Cond.create () in
+  Hw.Engine.Cond.set_owner cond (Hw.Engine.current_fibre pvm.engine);
   if !For_testing.evict_claim_late then charge pvm Hw.Cost.Stub_insert;
   Global_map.set pvm cache ~off (Sync_stub cond);
   spanned pvm ~name:"evict"
@@ -223,6 +224,8 @@ let alloc_frame pvm =
            this fibre genuinely sleeps.) *)
         match transfer_in_flight () with
         | Some cond ->
+          Hw.Engine.declare_wait pvm.engine ~on:"frame"
+            ~owner:(Hw.Engine.Cond.owner cond) ();
           Hw.Engine.Cond.wait cond;
           go ()
         | None -> raise Gmi.No_memory))

@@ -16,6 +16,27 @@ type scheduler = {
   sched_step : fib:int -> accesses:(int * int) list -> unit;
 }
 
+(* A parked fibre, as seen by the watchdog: what it is blocked on,
+   which fibre (if known) must act to release it, and since when. *)
+type wait_info = {
+  wi_label : string;
+  wi_owner : int; (* -1 when unknown *)
+  wi_since : Sim_time.t;
+  mutable wi_flagged : bool; (* already counted as stalled *)
+}
+
+type watchdog = {
+  wd_stall_after : Sim_time.span;
+  wd_check_every : Sim_time.span;
+  mutable wd_next : Sim_time.t;
+  wd_metrics : Obs.Metrics.t;
+  wd_deadlocks : Obs.Metrics.counter;
+  wd_stalls : Obs.Metrics.counter;
+  wd_checks : Obs.Metrics.counter;
+  mutable wd_alarm : string option; (* deadlock found mid-slice *)
+  mutable wd_last_stall : string option;
+}
+
 type t = {
   mutable now : Sim_time.t;
   mutable seq : int;
@@ -26,13 +47,20 @@ type t = {
   mutable cur_fib : int; (* fibre the running task belongs to *)
   mutable next_fib : int;
   mutable tracer : Obs.Trace.t;
+  mutable flight : Obs.Flight.t;
   mutable on_event : unit -> unit;
   mutable sched : scheduler option;
-  mutable tracking : bool; (* inside a task slice, scheduler installed *)
+  mutable tracking : bool; (* inside a task slice, someone listening *)
   mutable accesses : (int * int) list; (* slice footprint, reversed *)
+  names : (int, string) Hashtbl.t;
+  waiting : (int, wait_info) Hashtbl.t; (* parked fibres, by id *)
+  hearts : (int, Sim_time.t) Hashtbl.t; (* last slice start, by fibre *)
+  mutable pending_wait : (string * int) option; (* next park's label/owner *)
+  mutable watch : watchdog option;
 }
 
 exception Deadlock of int
+exception Watchdog of string
 
 type _ Effect.t +=
   | Sleep : Sim_time.span -> unit Effect.t
@@ -64,10 +92,16 @@ let create ?(tie_break = Fifo) () =
     cur_fib = 0;
     next_fib = 1;
     tracer = Obs.Trace.null;
+    flight = Obs.Flight.null;
     on_event = ignore;
     sched = None;
     tracking = false;
     accesses = [];
+    names = Hashtbl.create 16;
+    waiting = Hashtbl.create 16;
+    hearts = Hashtbl.create 16;
+    pending_wait = None;
+    watch = None;
   }
 
 let now eng = eng.now
@@ -79,13 +113,167 @@ let set_tracer eng tr =
   Obs.Trace.set_clock tr (fun () -> eng.now);
   Obs.Trace.set_fibre tr (fun () -> eng.cur_fib)
 
+let flight eng = eng.flight
+let set_flight eng fl = eng.flight <- fl
 let set_event_hook eng hook = eng.on_event <- hook
 let set_scheduler eng s = eng.sched <- Some s
 let clear_scheduler eng = eng.sched <- None
 let tracking eng = eng.tracking
 
 let note_access eng a b =
-  if eng.tracking then eng.accesses <- (a, b) :: eng.accesses
+  if eng.tracking then begin
+    (* The footprint list feeds [sched_step]; skip the cons when no
+       scheduler listens and only the flight ring wants the event. *)
+    if eng.sched <> None then eng.accesses <- (a, b) :: eng.accesses;
+    Obs.Flight.record_access eng.flight ~fib:eng.cur_fib ~a ~b
+  end
+
+let fibre_name eng fib = Hashtbl.find_opt eng.names fib
+
+let describe eng fib =
+  match fibre_name eng fib with
+  | Some n -> Printf.sprintf "fibre %d (%s)" fib n
+  | None -> Printf.sprintf "fibre %d" fib
+
+(* --- Watchdog ----------------------------------------------------- *)
+
+let enable_watchdog eng ?(stall_after = Sim_time.ms 1000)
+    ?(check_every = Sim_time.ms 1) ?metrics () =
+  let m = match metrics with Some m -> m | None -> Obs.Metrics.create () in
+  eng.watch <-
+    Some
+      {
+        wd_stall_after = stall_after;
+        wd_check_every = check_every;
+        wd_next = Sim_time.zero;
+        wd_metrics = m;
+        wd_deadlocks = Obs.Metrics.counter m "watchdog.deadlocks";
+        wd_stalls = Obs.Metrics.counter m "watchdog.stalls";
+        wd_checks = Obs.Metrics.counter m "watchdog.checks";
+        wd_alarm = None;
+        wd_last_stall = None;
+      }
+
+let watchdog_metrics eng =
+  match eng.watch with Some w -> Some w.wd_metrics | None -> None
+
+let last_stall eng =
+  match eng.watch with Some w -> w.wd_last_stall | None -> None
+
+let declare_wait eng ~on ?(owner = -1) () =
+  (* Only pay for the option allocation while someone is watching. *)
+  if eng.watch <> None then eng.pending_wait <- Some (on, owner)
+
+let pp_time t = Format.asprintf "%a" Sim_time.pp t
+
+let wait_line eng fib wi =
+  let held =
+    if wi.wi_owner >= 0 then
+      Printf.sprintf " held by %s" (describe eng wi.wi_owner)
+    else ""
+  in
+  Printf.sprintf "%s blocked on %s%s since %s" (describe eng fib) wi.wi_label
+    held (pp_time wi.wi_since)
+
+let blocked_report eng =
+  let entries =
+    Hashtbl.fold (fun fib wi acc -> (fib, wi) :: acc) eng.waiting []
+    |> List.sort compare
+  in
+  match entries with
+  | [] -> "no blocked fibres"
+  | entries ->
+    String.concat "\n"
+      (List.map (fun (fib, wi) -> wait_line eng fib wi) entries)
+
+(* Follow blocked-on owner edges from the fibre that just parked.  A
+   new cycle, if any, must pass through it; the hop bound guards
+   against walking a pre-existing cycle that does not. *)
+let find_cycle eng start =
+  let bound = Hashtbl.length eng.waiting + 1 in
+  let rec go fib hops acc =
+    if hops > bound then None
+    else
+      match Hashtbl.find_opt eng.waiting fib with
+      | None -> None
+      | Some wi ->
+        if wi.wi_owner < 0 then None
+        else if wi.wi_owner = start then Some (List.rev (fib :: acc))
+        else go wi.wi_owner (hops + 1) (fib :: acc)
+  in
+  go start 0 []
+
+let deadlock_diag eng cycle =
+  let lines =
+    List.filter_map
+      (fun fib ->
+        match Hashtbl.find_opt eng.waiting fib with
+        | Some wi -> Some ("  " ^ wait_line eng fib wi)
+        | None -> None)
+      cycle
+  in
+  Printf.sprintf "watchdog: deadlock cycle of %d fibre(s) at %s:\n%s"
+    (List.length cycle) (pp_time eng.now)
+    (String.concat "\n" lines)
+
+let stall_diag eng fib wi =
+  Printf.sprintf "watchdog: stall at %s: %s" (pp_time eng.now)
+    (wait_line eng fib wi)
+
+(* Called from the Suspend handler as a fibre parks: register the
+   wait, then see whether this park closed a blocked-on cycle.  The
+   alarm is not raised here — effect handlers should not throw past
+   live continuations — but parked for the run loop to raise after the
+   current slice completes. *)
+let note_park eng fib =
+  (match eng.watch with
+  | Some w ->
+    let label, owner =
+      match eng.pending_wait with Some lo -> lo | None -> ("suspend", -1)
+    in
+    Hashtbl.replace eng.waiting fib
+      { wi_label = label; wi_owner = owner; wi_since = eng.now;
+        wi_flagged = false };
+    (match find_cycle eng fib with
+    | Some cycle ->
+      Obs.Metrics.incr w.wd_deadlocks;
+      Obs.Flight.record_mark eng.flight ~code:1 ~arg:fib;
+      if w.wd_alarm = None then w.wd_alarm <- Some (deadlock_diag eng cycle)
+    | None -> ())
+  | None -> ());
+  eng.pending_wait <- None
+
+let note_unpark eng fib = Hashtbl.remove eng.waiting fib
+
+(* Between events: raise a parked deadlock alarm, and periodically
+   sweep the waiting table for fibres blocked longer than the stall
+   threshold.  Stalls are counted (once per continuous wait) rather
+   than fatal: a slow-but-live run legitimately clears them. *)
+let watchdog_check eng =
+  match eng.watch with
+  | None -> ()
+  | Some w ->
+    (match w.wd_alarm with
+    | Some diag ->
+      w.wd_alarm <- None;
+      raise (Watchdog diag)
+    | None -> ());
+    if eng.now >= w.wd_next then begin
+      w.wd_next <- eng.now + w.wd_check_every;
+      Obs.Metrics.incr w.wd_checks;
+      Hashtbl.iter
+        (fun fib wi ->
+          if (not wi.wi_flagged) && eng.now - wi.wi_since > w.wd_stall_after
+          then begin
+            wi.wi_flagged <- true;
+            Obs.Metrics.incr w.wd_stalls;
+            Obs.Flight.record_mark eng.flight ~code:2 ~arg:fib;
+            w.wd_last_stall <- Some (stall_diag eng fib wi)
+          end)
+        eng.waiting
+    end
+
+(* --- Scheduling --------------------------------------------------- *)
 
 (* The two historical tie-break policies expressed as schedulers, so
    the key-based heap order and the explicit choice-point API provably
@@ -149,16 +337,19 @@ let exec eng ~daemon f =
             Some
               (fun (k : (a, _) Effect.Deep.continuation) ->
                 let fib = eng.cur_fib in
+                eng.pending_wait <- None;
                 schedule eng ~daemon ~fib (eng.now + span) (fun () ->
                     Effect.Deep.continue k ()))
           | Suspend register ->
             Some
               (fun (k : (a, _) Effect.Deep.continuation) ->
                 let fib = eng.cur_fib in
+                note_park eng fib;
                 let resumed = ref false in
                 register (fun () ->
                     if !resumed then invalid_arg "Engine: resume called twice";
                     resumed := true;
+                    note_unpark eng fib;
                     schedule eng ~daemon ~fib eng.now (fun () ->
                         Effect.Deep.continue k ())))
           | _ -> None);
@@ -169,9 +360,29 @@ let spawn eng ?name ?(daemon = false) f =
   let fib = eng.next_fib in
   eng.next_fib <- fib + 1;
   (match name with
-  | Some n -> Obs.Trace.name_fibre eng.tracer fib n
+  | Some n ->
+    Hashtbl.replace eng.names fib n;
+    Obs.Trace.name_fibre eng.tracer fib n
   | None -> ());
   schedule eng ~daemon ~fib eng.now (fun () -> exec eng ~daemon f)
+
+(* The implicit pick among equal-time ready tasks, identical to the
+   heap order by construction: under Fifo the array is already in key
+   (= seq) order; under Seeded the argmin of the seeded hash with
+   strict comparison resolves hash ties by position, i.e. by seq —
+   exactly [cmp_task]. *)
+let pick_by_tie eng (arr : task array) =
+  match eng.tie with
+  | Fifo -> 0
+  | Seeded seed ->
+    let best = ref 0 in
+    for i = 1 to Array.length arr - 1 do
+      if
+        Hashtbl.seeded_hash seed arr.(i).seq
+        < Hashtbl.seeded_hash seed arr.(!best).seq
+      then best := i
+    done;
+    !best
 
 let run eng main =
   spawn eng main;
@@ -180,17 +391,19 @@ let run eng main =
      daemon) may still wake.  Once every user fibre has finished,
      pending daemon wakeups are discarded: a periodic daemon would
      otherwise keep the simulation alive forever. *)
-  (* Dispatch: with no scheduler installed the heap order (time, key,
-     seq) IS the policy and the popped minimum runs — the historical
-     fast path, byte-identical schedules.  With a scheduler, every
-     dispatch becomes an explicit choice point: the full set of
-     equal-time ready tasks is drained, presented in [seq] order, and
-     the scheduler picks one; the rest go back on the heap. *)
+  (* Dispatch: with neither a scheduler nor a flight recorder
+     installed the heap order (time, key, seq) IS the policy and the
+     popped minimum runs — the historical fast path, byte-identical
+     schedules.  Otherwise every dispatch becomes an explicit choice
+     point: the full set of equal-time ready tasks is drained,
+     presented in [seq] order, and either the scheduler picks one or
+     the tie policy is applied explicitly (provably the same order as
+     the heap keys).  Multi-way choices are logged to the flight
+     recorder as scheduling decisions. *)
   let dispatch () =
     let task = Pqueue.pop eng.queue in
-    match eng.sched with
-    | None -> task
-    | Some s ->
+    if eng.sched = None && not (Obs.Flight.enabled eng.flight) then task
+    else begin
       let rec gather acc =
         match Pqueue.pop_if eng.queue (fun t -> t.time = task.time) with
         | Some t -> gather (t :: acc)
@@ -202,16 +415,27 @@ let run eng main =
              (fun (a : task) (b : task) -> compare a.seq b.seq)
              (gather [ task ]))
       in
-      let ready =
-        Array.map
-          (fun t -> { rt_fib = t.fib; rt_seq = t.seq; rt_daemon = t.daemon })
-          arr
+      let idx =
+        match eng.sched with
+        | None -> pick_by_tie eng arr
+        | Some s ->
+          let ready =
+            Array.map
+              (fun t ->
+                { rt_fib = t.fib; rt_seq = t.seq; rt_daemon = t.daemon })
+              arr
+          in
+          let idx = s.sched_pick ~now:task.time ready in
+          if idx < 0 || idx >= Array.length arr then
+            invalid_arg "Engine: scheduler picked an out-of-range ready task";
+          idx
       in
-      let idx = s.sched_pick ~now:task.time ready in
-      if idx < 0 || idx >= Array.length arr then
-        invalid_arg "Engine: scheduler picked an out-of-range ready task";
+      if Array.length arr > 1 then
+        Obs.Flight.record_choice eng.flight ~nready:(Array.length arr)
+          ~fib:arr.(idx).fib;
       Array.iteri (fun i t -> if i <> idx then Pqueue.push eng.queue t) arr;
       arr.(idx)
+    end
   in
   let rec loop () =
     if
@@ -222,17 +446,23 @@ let run eng main =
       assert (task.time >= eng.now);
       eng.now <- task.time;
       eng.cur_fib <- task.fib;
+      if eng.watch <> None then Hashtbl.replace eng.hearts task.fib task.time;
+      Obs.Flight.record_dispatch eng.flight ~fib:task.fib ~time:task.time;
       if not task.daemon then eng.live_tasks <- eng.live_tasks - 1;
-      (match eng.sched with
-      | None -> task.run ()
-      | Some s ->
+      if eng.sched = None && not (Obs.Flight.enabled eng.flight) then
+        task.run ()
+      else begin
         eng.tracking <- true;
         eng.accesses <- [];
         Fun.protect ~finally:(fun () -> eng.tracking <- false) task.run;
         let accesses = eng.accesses in
         eng.accesses <- [];
-        s.sched_step ~fib:task.fib ~accesses);
+        match eng.sched with
+        | Some s -> s.sched_step ~fib:task.fib ~accesses
+        | None -> ()
+      end;
       eng.on_event ();
+      watchdog_check eng;
       loop ()
     end
   in
@@ -247,9 +477,9 @@ let run_fn eng f =
   | None -> assert false
 
 module Cond = struct
-  type t = { mutable parked : (unit -> unit) list }
+  type t = { mutable parked : (unit -> unit) list; mutable owner : int }
 
-  let create () = { parked = [] }
+  let create () = { parked = []; owner = -1 }
 
   let wait c =
     suspend (fun resume -> c.parked <- resume :: c.parked)
@@ -260,4 +490,6 @@ module Cond = struct
     List.iter (fun resume -> resume ()) resumes
 
   let waiters c = List.length c.parked
+  let set_owner c fib = c.owner <- fib
+  let owner c = c.owner
 end

@@ -16,6 +16,12 @@ exception Deadlock of int
 (** Raised by {!run} when the event queue drains while fibres are
     still suspended; carries the number of stuck fibres. *)
 
+exception Watchdog of string
+(** Raised by {!run} (between events, never inside fibre context) when
+    the watchdog's blocked-on graph closes a cycle; carries a rendered
+    diagnostic listing the cycle's fibres and what each is blocked on.
+    Only raised while {!enable_watchdog} is active. *)
+
 type tie_break =
   | Fifo  (** equal-time tasks run in spawn/wake order (the default) *)
   | Seeded of int
@@ -71,17 +77,19 @@ val seeded_scheduler : int -> scheduler
 val note_access : t -> int -> int -> unit
 (** [note_access eng a b] records that the running task's slice
     touched the shared object identified by [(a, b)] — no-op unless a
-    scheduler is installed and a slice is executing.  The PVM notes
-    each fragment as [(cache id, offset)] and reserves negative first
-    components for object classes (frame pool, cache topology); the
-    engine treats the pairs as opaque.  Footprints feed the model
-    checker's independence relation: two slices commute unless their
-    footprints intersect. *)
+    scheduler or an enabled flight recorder is installed and a slice
+    is executing.  The PVM notes each fragment as [(cache id, offset)]
+    and reserves negative first components for object classes (frame
+    pool, cache topology); the engine treats the pairs as opaque.
+    Footprints feed the model checker's independence relation (two
+    slices commute unless their footprints intersect) and the flight
+    ring's access records. *)
 
 val tracking : t -> bool
 (** Whether {!note_access} currently records — true only inside a task
-    slice while a scheduler is installed.  Lets callers skip the work
-    of computing the object identity when nobody is listening. *)
+    slice while a scheduler or an enabled flight recorder is
+    installed.  Lets callers skip the work of computing the object
+    identity when nobody is listening. *)
 
 val now : t -> Sim_time.t
 (** Current simulated time. *)
@@ -100,6 +108,64 @@ val tracer : t -> Obs.Trace.t
 val set_tracer : t -> Obs.Trace.t -> unit
 (** Attach a tracing sink, wiring its clock to this engine's simulated
     time and its fibre source to {!current_fibre}. *)
+
+val flight : t -> Obs.Flight.t
+(** The flight recorder attached to this engine; {!Obs.Flight.null} —
+    a never-enabled recorder — unless {!set_flight} was called. *)
+
+val set_flight : t -> Obs.Flight.t -> unit
+(** Attach a flight recorder.  While the recorder is enabled, every
+    dispatch is logged to its ring, every multi-ready dispatch also
+    logs the scheduling decision taken (the chosen fibre — the same
+    choice points a {!scheduler} sees, resolved by the engine's
+    tie-break policy when no scheduler is installed, so the recorded
+    schedule is identical to the unrecorded one), and {!note_access}
+    footprints are logged as access records.  The decision log
+    replays the run deterministically through the explorer's
+    forced-schedule machinery. *)
+
+val fibre_name : t -> int -> string option
+(** The [?name] given to {!spawn} for this fibre, if any. *)
+
+(** {2 Watchdog} *)
+
+val enable_watchdog :
+  t ->
+  ?stall_after:Sim_time.span ->
+  ?check_every:Sim_time.span ->
+  ?metrics:Obs.Metrics.t ->
+  unit ->
+  unit
+(** Activate stall and deadlock detection.  Parked fibres are tracked
+    in a blocked-on graph (edges supplied by {!declare_wait}); a park
+    that closes a cycle raises {!Watchdog} after the current slice.  A
+    fibre continuously parked longer than [stall_after] (simulated
+    time, default 1s) is counted as a stall — not fatal, since a
+    slow-but-live run legitimately clears it — in the
+    ["watchdog.stalls"] counter; deadlocks and sweep iterations are
+    counted in ["watchdog.deadlocks"] and ["watchdog.checks"].  The
+    waiting table is swept at most once per [check_every] of simulated
+    time (default 1ms).  Counters live in [metrics] (fresh registry if
+    omitted; retrieve via {!watchdog_metrics}). *)
+
+val watchdog_metrics : t -> Obs.Metrics.t option
+(** The registry holding the watchdog counters, when enabled. *)
+
+val declare_wait : t -> on:string -> ?owner:int -> unit -> unit
+(** Annotate the park this fibre is about to perform: [on] names the
+    resource class (["transfer"], ["frame"], ...) and [owner] the
+    fibre expected to release it, forming the blocked-on edge the
+    deadlock detector walks.  Cheap no-op unless the watchdog is
+    enabled; consumed by the next {!suspend} (an un-annotated park
+    records a generic ["suspend"] wait with no edge). *)
+
+val blocked_report : t -> string
+(** Human-readable list of currently parked fibres — what each is
+    blocked on, who holds it, since when.  Useful after {!Deadlock} or
+    {!Watchdog} escapes {!run}. *)
+
+val last_stall : t -> string option
+(** Diagnostic for the most recent stall the watchdog counted. *)
 
 val set_event_hook : t -> (unit -> unit) -> unit
 (** Install a callback invoked after every completed engine event
@@ -145,4 +211,12 @@ module Cond : sig
   (** Wakes every fibre currently parked in {!wait}. *)
 
   val waiters : t -> int
+
+  val set_owner : t -> int -> unit
+  (** Record the fibre responsible for the eventual {!broadcast}
+      (e.g. the fibre driving the in-flight transfer), so waiters can
+      declare a blocked-on edge to it.  [-1] means unknown. *)
+
+  val owner : t -> int
+  (** The fibre set by {!set_owner}, or [-1]. *)
 end

@@ -23,6 +23,8 @@ let rec alloc t =
     t.free <- rest;
     slot
   | [] ->
+    Hw.Engine.declare_wait t.site.Site.engine ~on:"transit-slot"
+      ~owner:(Hw.Engine.Cond.owner t.freed) ();
     Hw.Engine.Cond.wait t.freed;
     alloc t
 

@@ -1,0 +1,159 @@
+(* Flight recorder: fixed-size binary ring of engine events plus the
+   unbounded scheduling-decision log.
+
+   Records are 4 ints wide, packed flat into one [int array]:
+
+     [| tag; a; b; c |]
+
+     tag 0  Dispatch   a=fib  b=time   c=0
+     tag 1  Choice     a=nready  b=fib  c=decision index
+     tag 2  Access     a=fib  b=obj-a  c=obj-b
+     tag 3  Mark       a=code  b=arg   c=0
+
+   The ring overwrites oldest-first when full; the decision log never
+   drops (it is the replay key and costs one int per multi-ready
+   dispatch).  Recording is branch + 4 stores; the ring array is
+   allocated on the first record so a disabled recorder costs one word
+   per engine. *)
+
+let record_width = 4
+let default_capacity = 65536
+
+type t = {
+  capacity : int; (* in records; 0 = the null sink *)
+  mutable ring : int array; (* capacity * record_width ints, lazy *)
+  mutable head : int; (* next record slot (record index) *)
+  mutable count : int; (* records buffered, <= capacity *)
+  mutable dropped : int;
+  mutable dec : int array; (* decision log, grows by doubling *)
+  mutable dec_len : int;
+  mutable on : bool;
+}
+
+let create ?(capacity = default_capacity) () =
+  let capacity = max 0 capacity in
+  {
+    capacity;
+    ring = [||];
+    head = 0;
+    count = 0;
+    dropped = 0;
+    dec = [||];
+    dec_len = 0;
+    on = false;
+  }
+
+let null = create ~capacity:0 ()
+let enabled t = t.on
+let enable t = if t.capacity > 0 then t.on <- true
+let disable t = t.on <- false
+
+let clear t =
+  t.head <- 0;
+  t.count <- 0;
+  t.dropped <- 0;
+  t.dec_len <- 0
+
+let length t = t.count
+let dropped t = t.dropped
+
+let push t tag a b c =
+  if t.on then begin
+    if Array.length t.ring = 0 then
+      t.ring <- Array.make (t.capacity * record_width) 0;
+    let base = t.head * record_width in
+    t.ring.(base) <- tag;
+    t.ring.(base + 1) <- a;
+    t.ring.(base + 2) <- b;
+    t.ring.(base + 3) <- c;
+    t.head <- (t.head + 1) mod t.capacity;
+    if t.count < t.capacity then t.count <- t.count + 1
+    else t.dropped <- t.dropped + 1
+  end
+
+let push_decision t fib =
+  let len = Array.length t.dec in
+  if t.dec_len = len then begin
+    let dec = Array.make (max 64 (2 * len)) 0 in
+    Array.blit t.dec 0 dec 0 len;
+    t.dec <- dec
+  end;
+  t.dec.(t.dec_len) <- fib;
+  t.dec_len <- t.dec_len + 1
+
+let record_dispatch t ~fib ~time = push t 0 fib time 0
+
+let record_choice t ~nready ~fib =
+  if t.on then begin
+    push t 1 nready fib t.dec_len;
+    push_decision t fib
+  end
+
+let record_access t ~fib ~a ~b = push t 2 fib a b
+let record_mark t ~code ~arg = push t 3 code arg 0
+
+let decisions t = Array.to_list (Array.sub t.dec 0 t.dec_len)
+let decision_count t = t.dec_len
+
+type entry =
+  | Dispatch of { fib : int; time : int }
+  | Choice of { nready : int; fib : int; decision : int }
+  | Access of { fib : int; a : int; b : int }
+  | Mark of { code : int; arg : int }
+
+let entry_of_record t i =
+  (* i counts from the oldest buffered record *)
+  let slot = (t.head - t.count + i + (2 * t.capacity)) mod t.capacity in
+  let base = slot * record_width in
+  let a = t.ring.(base + 1) and b = t.ring.(base + 2) and c = t.ring.(base + 3) in
+  match t.ring.(base) with
+  | 0 -> Dispatch { fib = a; time = b }
+  | 1 -> Choice { nready = a; fib = b; decision = c }
+  | 2 -> Access { fib = a; a = b; b = c }
+  | _ -> Mark { code = a; arg = b }
+
+let entries t = List.init t.count (entry_of_record t)
+
+let to_json t : Json.t =
+  let num i = Json.Num (float_of_int i) in
+  let event = function
+    | Dispatch { fib; time } ->
+      Json.Obj [ ("ev", Json.Str "dispatch"); ("fib", num fib); ("t", num time) ]
+    | Choice { nready; fib; decision } ->
+      Json.Obj
+        [
+          ("ev", Json.Str "choice");
+          ("nready", num nready);
+          ("fib", num fib);
+          ("decision", num decision);
+        ]
+    | Access { fib; a; b } ->
+      Json.Obj
+        [ ("ev", Json.Str "access"); ("fib", num fib); ("a", num a); ("b", num b) ]
+    | Mark { code; arg } ->
+      Json.Obj [ ("ev", Json.Str "mark"); ("code", num code); ("arg", num arg) ]
+  in
+  Json.Obj
+    [
+      ("dropped", num t.dropped);
+      ("decisions", Json.List (List.map num (decisions t)));
+      ("events", Json.List (List.map event (entries t)));
+    ]
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>flight: %d event(s), %d dropped, %d decision(s)@,"
+    t.count t.dropped t.dec_len;
+  List.iter
+    (fun e ->
+      match e with
+      | Dispatch { fib; time } ->
+        Format.fprintf ppf "  dispatch fib=%d t=%d@," fib time
+      | Choice { nready; fib; decision } ->
+        Format.fprintf ppf "  choice   fib=%d of %d ready (decision %d)@," fib
+          nready decision
+      | Access { fib; a; b } ->
+        Format.fprintf ppf "  access   fib=%d obj=(%d,%d)@," fib a b
+      | Mark { code; arg } ->
+        Format.fprintf ppf "  mark     code=%d arg=%d@," code arg)
+    (entries t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,213 @@
+(* Forensics tested: the structured state snapshot must round-trip
+   through Obs.Json without losing the digest, crash bundles must
+   round-trip through their file format, and — the point of the whole
+   pipeline — a bundle captured from a planted race must replay to the
+   identical failure: same kind, same sanitizer verdicts, same
+   Inspect digests.  A replayer that cannot reproduce a planted bug
+   would be indistinguishable from no replayer. *)
+
+let ps = 8192
+let w addr data = Check.Model.Write { addr; data }
+let r addr len = Check.Model.Read { addr; len }
+
+let site_setup ~frames ~pages engine =
+  let site =
+    Nucleus.Site.create ~frames ~swap_seek_time:(Hw.Sim_time.ms 4)
+      ~swap_transfer_time_per_page:(Hw.Sim_time.ms 1) ~engine ()
+  in
+  let pvm = site.Nucleus.Site.pvm in
+  let ctx = Core.Context.create pvm in
+  let cache = Core.Cache.create pvm () in
+  let size = pages * ps in
+  let _ =
+    Core.Region.create pvm ctx ~addr:0 ~size ~prot:Hw.Prot.read_write cache
+      ~offset:0
+  in
+  (pvm, ctx, size)
+
+(* The memory-pressure shape from test_explore: two workers over three
+   pages and two frames, every operation contending for a frame. *)
+let pressure_prog =
+  Array.init 2 (fun f ->
+      Array.concat
+        (List.init 2 (fun rd ->
+             let p = (f + rd) mod 3 in
+             [| w (p * ps) (String.make 16 (Char.chr (65 + f)));
+                r ((p + 1) mod 3 * ps) 8;
+             |])))
+
+let pressure_scenario =
+  Check.Explore.of_program ~name:"pressure"
+    ~setup:(site_setup ~frames:2 ~pages:3)
+    pressure_prog
+
+let tmp_bundle_dir =
+  Filename.concat (Filename.get_temp_dir_name ()) "chorus-test-bundles"
+
+(* --- Inspect.state_json -------------------------------------------- *)
+
+let test_state_json_roundtrip () =
+  let engine = Hw.Engine.create () in
+  Hw.Engine.run_fn engine (fun () ->
+      let pvm = Core.Pvm.create ~frames:64 ~engine () in
+      let ctx = Core.Context.create pvm in
+      let src = Core.Cache.create pvm () in
+      let dst = Core.Cache.create pvm () in
+      let _ =
+        Core.Region.create pvm ctx ~addr:0 ~size:(4 * ps)
+          ~prot:Hw.Prot.read_write src ~offset:0
+      in
+      Core.Pvm.write pvm ctx ~addr:0 (Bytes.make (2 * ps) 's');
+      Core.Cache.copy pvm ~strategy:`History ~src ~src_off:0 ~dst ~dst_off:0
+        ~size:(4 * ps) ();
+      Core.Pvm.write pvm ctx ~addr:0 (Bytes.make 8 'w');
+      let j = Core.Inspect.state_json pvm in
+      let printed = Obs.Json.to_string j in
+      let j' = Obs.Json.parse printed in
+      (match Obs.Json.get_str (Obs.Json.member "digest" j') with
+      | Some d ->
+        Alcotest.(check string)
+          "embedded digest = Inspect.digest" (Core.Inspect.digest pvm) d
+      | None -> Alcotest.fail "state_json has no digest field");
+      Alcotest.(check string)
+        "print/parse/print fixpoint" printed
+        (Obs.Json.to_string j'))
+
+(* --- Bundle file format -------------------------------------------- *)
+
+let test_bundle_roundtrip () =
+  let b =
+    Obs.Bundle.v ~scenario:"unit" ~inject:[ "evict-claim-late" ]
+      ~kind:"invariant" ~detail:"two pages at offset 0" ~sim_now:42
+      ~schedule:[ 2; 3; 2 ] ~digests:[ "abc"; "def" ]
+      ~violations:(Obs.Json.List [ Obs.Json.Str "gmap" ])
+      ()
+  in
+  let path = Obs.Bundle.write ~dir:tmp_bundle_dir b in
+  Alcotest.(check string)
+    "deterministic filename" "bundle-unit-invariant.json"
+    (Filename.basename path);
+  match Obs.Bundle.read path with
+  | Error e -> Alcotest.fail e
+  | Ok b' ->
+    Alcotest.(check string) "scenario" b.Obs.Bundle.scenario b'.Obs.Bundle.scenario;
+    Alcotest.(check string) "kind" b.Obs.Bundle.kind b'.Obs.Bundle.kind;
+    Alcotest.(check string) "detail" b.Obs.Bundle.detail b'.Obs.Bundle.detail;
+    Alcotest.(check int) "sim_now" b.Obs.Bundle.sim_now b'.Obs.Bundle.sim_now;
+    Alcotest.(check (list int)) "schedule" b.Obs.Bundle.schedule b'.Obs.Bundle.schedule;
+    Alcotest.(check (list string)) "inject" b.Obs.Bundle.inject b'.Obs.Bundle.inject;
+    Alcotest.(check (list string)) "digests" b.Obs.Bundle.digests b'.Obs.Bundle.digests
+
+let test_bundle_rejects_foreign_schema () =
+  (match Obs.Bundle.of_json (Obs.Json.Obj [ ("schema", Obs.Json.Str "x/9") ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted an unknown schema");
+  match Obs.Bundle.of_json (Obs.Json.Obj []) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted a schema-less document"
+
+(* --- Capture / replay determinism ---------------------------------- *)
+
+(* Plant a race, let the explorer find it, capture the bundle, write
+   it out, read it back, replay it twice: every replay must reproduce
+   the recorded failure exactly. *)
+let capture_replay_roundtrip inject =
+  Check.Forensics.with_injections [ inject ] (fun () ->
+      let result = Check.Explore.run ~max_schedules:2000 pressure_scenario in
+      match result.Check.Explore.r_violation with
+      | None -> Alcotest.failf "%s produced no violation" inject
+      | Some v ->
+        let bundle, outcome =
+          Check.Forensics.capture ~inject:[ inject ] pressure_scenario
+            v.Check.Explore.v_schedule
+        in
+        Alcotest.(check string)
+          "capture reproduces the explorer's verdict" v.Check.Explore.v_kind
+          outcome.Check.Forensics.o_kind;
+        let path = Obs.Bundle.write ~dir:tmp_bundle_dir bundle in
+        let b =
+          match Obs.Bundle.read path with
+          | Ok b -> b
+          | Error e -> Alcotest.fail e
+        in
+        let o1 = Check.Forensics.replay pressure_scenario b in
+        (match Check.Forensics.reproduces b o1 with
+        | Ok () -> ()
+        | Error msg -> Alcotest.failf "replay did not reproduce:\n%s" msg);
+        let o2 = Check.Forensics.replay pressure_scenario b in
+        Alcotest.(check string)
+          "replay kind deterministic" o1.Check.Forensics.o_kind
+          o2.Check.Forensics.o_kind;
+        Alcotest.(check (list string))
+          "replay digests deterministic" o1.Check.Forensics.o_digests
+          o2.Check.Forensics.o_digests;
+        Alcotest.(check (list string))
+          "replay rules deterministic" o1.Check.Forensics.o_rules
+          o2.Check.Forensics.o_rules;
+        (bundle, outcome))
+
+let test_replay_evict_claim_race () =
+  ignore (capture_replay_roundtrip "evict-claim-late")
+
+let test_replay_skip_insert_probe () =
+  let bundle, outcome = capture_replay_roundtrip "skip-insert-probe" in
+  (* this race manifests as a sanitizer violation, so the bundle must
+     carry the failed rule ids and the replay must re-derive them *)
+  Alcotest.(check string) "invariant kind" "invariant"
+    outcome.Check.Forensics.o_kind;
+  Alcotest.(check bool) "sanitizer rules recorded" true
+    (outcome.Check.Forensics.o_rules <> []);
+  Alcotest.(check bool) "bundle records the schedule" true
+    (bundle.Obs.Bundle.schedule <> [])
+
+(* A clean (uninjected) forced run of the same schedule must NOT
+   reproduce the failure — [reproduces] has to notice, or it would
+   rubber-stamp anything. *)
+let test_reproduces_detects_divergence () =
+  let bundle, _ =
+    Check.Forensics.with_injections [ "skip-insert-probe" ] (fun () ->
+        let result =
+          Check.Explore.run ~max_schedules:2000 pressure_scenario
+        in
+        match result.Check.Explore.r_violation with
+        | None -> Alcotest.fail "no violation to bundle"
+        | Some v ->
+          Check.Forensics.capture ~inject:[ "skip-insert-probe" ]
+            pressure_scenario v.Check.Explore.v_schedule)
+  in
+  let clean = { bundle with Obs.Bundle.inject = [] } in
+  let outcome = Check.Forensics.replay pressure_scenario clean in
+  match Check.Forensics.reproduces bundle outcome with
+  | Ok () -> Alcotest.fail "clean replay claimed to reproduce the failure"
+  | Error _ -> ()
+
+let test_unknown_injection_rejected () =
+  match Check.Forensics.set_injections [ "no-such-fault" ] with
+  | exception Invalid_argument _ -> Check.Forensics.clear_injections ()
+  | () -> Alcotest.fail "unknown injection accepted"
+
+let () =
+  Alcotest.run "forensics"
+    [
+      ( "state-json",
+        [ Alcotest.test_case "round-trip" `Quick test_state_json_roundtrip ]
+      );
+      ( "bundle",
+        [
+          Alcotest.test_case "write/read round-trip" `Quick
+            test_bundle_roundtrip;
+          Alcotest.test_case "rejects foreign schema" `Quick
+            test_bundle_rejects_foreign_schema;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "evict-claim race reproduces" `Quick
+            test_replay_evict_claim_race;
+          Alcotest.test_case "insert-probe race reproduces" `Quick
+            test_replay_skip_insert_probe;
+          Alcotest.test_case "clean replay detected as divergent" `Quick
+            test_reproduces_detects_divergence;
+          Alcotest.test_case "unknown injection rejected" `Quick
+            test_unknown_injection_rejected;
+        ] );
+    ]

@@ -96,6 +96,94 @@ let test_daemon_not_deadlock () =
       Hw.Engine.spawn engine ~daemon:true (fun () -> Hw.Engine.Cond.wait cond));
   ()
 
+(* --- watchdog ----------------------------------------------------- *)
+
+(* Two fibres each waiting on a resource the other holds: the
+   blocked-on graph closes a cycle the moment the second one parks,
+   and the run dies of Watchdog (not of queue-drain Deadlock). *)
+let test_watchdog_flags_cross_block () =
+  let engine = Hw.Engine.create () in
+  Hw.Engine.enable_watchdog engine ();
+  let r1 = Hw.Engine.Cond.create () in
+  let r2 = Hw.Engine.Cond.create () in
+  (* run's main fibre is 1; the two spawns below are 2 and 3 *)
+  Hw.Engine.Cond.set_owner r1 2;
+  Hw.Engine.Cond.set_owner r2 3;
+  let raised =
+    try
+      Hw.Engine.run engine (fun () ->
+          Hw.Engine.spawn engine ~name:"a" (fun () ->
+              Hw.Engine.declare_wait engine ~on:"r2"
+                ~owner:(Hw.Engine.Cond.owner r2) ();
+              Hw.Engine.Cond.wait r2);
+          Hw.Engine.spawn engine ~name:"b" (fun () ->
+              Hw.Engine.declare_wait engine ~on:"r1"
+                ~owner:(Hw.Engine.Cond.owner r1) ();
+              Hw.Engine.Cond.wait r1));
+      false
+    with Hw.Engine.Watchdog diag ->
+      Alcotest.(check bool) "diagnostic names the resource" true
+        (String.length diag > 0);
+      true
+  in
+  Alcotest.(check bool) "cycle raised Watchdog" true raised;
+  (match Hw.Engine.watchdog_metrics engine with
+  | None -> Alcotest.fail "watchdog metrics missing"
+  | Some m ->
+    Alcotest.(check bool) "deadlock counted" true
+      (Obs.Metrics.value (Obs.Metrics.counter m "watchdog.deadlocks") >= 1));
+  Alcotest.(check bool) "blocked report lists the fibres" true
+    (String.length (Hw.Engine.blocked_report engine) > 0)
+
+(* Slow but live: a waiter parked well under the stall threshold whose
+   broadcast does arrive must trip nothing. *)
+let test_watchdog_spares_slow_but_live () =
+  let engine = Hw.Engine.create () in
+  Hw.Engine.enable_watchdog engine
+    ~stall_after:(Hw.Sim_time.ms 1000) ();
+  let c = Hw.Engine.Cond.create () in
+  Hw.Engine.run engine (fun () ->
+      Hw.Engine.spawn engine (fun () ->
+          Hw.Engine.declare_wait engine ~on:"slow" ();
+          Hw.Engine.Cond.wait c);
+      Hw.Engine.spawn engine (fun () ->
+          for _ = 1 to 20 do
+            Hw.Engine.sleep (Hw.Sim_time.ms 25)
+          done;
+          Hw.Engine.Cond.broadcast c));
+  match Hw.Engine.watchdog_metrics engine with
+  | None -> Alcotest.fail "watchdog metrics missing"
+  | Some m ->
+    Alcotest.(check int) "no stalls" 0
+      (Obs.Metrics.value (Obs.Metrics.counter m "watchdog.stalls"));
+    Alcotest.(check int) "no deadlocks" 0
+      (Obs.Metrics.value (Obs.Metrics.counter m "watchdog.deadlocks"))
+
+(* A genuinely overdue waiter is counted as a stall — visibly, but
+   not fatally: the late broadcast still lets the run finish. *)
+let test_watchdog_counts_stall () =
+  let engine = Hw.Engine.create () in
+  Hw.Engine.enable_watchdog engine ~stall_after:(Hw.Sim_time.ms 10) ();
+  let c = Hw.Engine.Cond.create () in
+  Hw.Engine.run engine (fun () ->
+      Hw.Engine.spawn engine ~name:"waiter" (fun () ->
+          Hw.Engine.declare_wait engine ~on:"late" ();
+          Hw.Engine.Cond.wait c);
+      Hw.Engine.spawn engine (fun () ->
+          for _ = 1 to 50 do
+            Hw.Engine.sleep (Hw.Sim_time.ms 1)
+          done;
+          Hw.Engine.Cond.broadcast c));
+  match Hw.Engine.watchdog_metrics engine with
+  | None -> Alcotest.fail "watchdog metrics missing"
+  | Some m ->
+    Alcotest.(check bool) "stall counted" true
+      (Obs.Metrics.value (Obs.Metrics.counter m "watchdog.stalls") >= 1);
+    Alcotest.(check int) "but no deadlock" 0
+      (Obs.Metrics.value (Obs.Metrics.counter m "watchdog.deadlocks"));
+    Alcotest.(check bool) "stall diagnostic kept" true
+      (Hw.Engine.last_stall engine <> None)
+
 let test_fibre_exception_propagates () =
   let engine = Hw.Engine.create () in
   Alcotest.check_raises "exception escapes run" (Failure "boom") (fun () ->
@@ -244,6 +332,12 @@ let () =
           Alcotest.test_case "cond broadcast" `Quick test_cond_broadcast;
           Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected;
           Alcotest.test_case "daemon tolerated" `Quick test_daemon_not_deadlock;
+          Alcotest.test_case "watchdog flags cross-block" `Quick
+            test_watchdog_flags_cross_block;
+          Alcotest.test_case "watchdog spares slow-but-live" `Quick
+            test_watchdog_spares_slow_but_live;
+          Alcotest.test_case "watchdog counts stalls" `Quick
+            test_watchdog_counts_stall;
           Alcotest.test_case "exceptions propagate" `Quick
             test_fibre_exception_propagates;
           Alcotest.test_case "run_fn returns" `Quick test_run_fn_returns;
