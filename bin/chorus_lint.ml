@@ -1,0 +1,5 @@
+(* chorus-lint: static analysis of the chorus annotation disciplines
+   over the .cmt typedtrees dune produces.  See lib/lint and
+   DESIGN.md §4f for the rule catalogue. *)
+
+let () = exit (Lint.Driver.main Sys.argv)

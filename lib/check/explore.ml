@@ -47,19 +47,35 @@ module Vec = struct
   let clear v = v.len <- 0
 end
 
-(* A slice footprint: sorted, deduplicated shared-object ids. *)
-type objs = (int * int) array
+(* A slice footprint: sorted, deduplicated shared-object ids, each
+   carrying whether the slice wrote it.  A key noted both ways in one
+   slice collapses to a write. *)
+type objs = ((int * int) * bool) array
 
-let canon (l : (int * int) list) : objs =
-  Array.of_list (List.sort_uniq compare l)
+let canon (l : (int * int * bool) list) : objs =
+  let sorted =
+    List.sort_uniq compare (List.map (fun (a, b, w) -> ((a, b), w)) l)
+  in
+  let rec merge = function
+    | (k1, w1) :: (k2, w2) :: rest when k1 = k2 ->
+      merge ((k1, w1 || w2) :: rest)
+    | e :: rest -> e :: merge rest
+    | [] -> []
+  in
+  Array.of_list (merge sorted)
 
+(* Two slices conflict when they touch a common object and at least
+   one of them writes it: read-read pairs commute. *)
 let conflict (a : objs) (b : objs) =
   let rec go i j =
     i < Array.length a
     && j < Array.length b
     &&
-    let c = compare a.(i) b.(j) in
-    if c = 0 then true else if c < 0 then go (i + 1) j else go i (j + 1)
+    let ka, wa = a.(i) and kb, wb = b.(j) in
+    let c = compare ka kb in
+    if c = 0 then wa || wb || go (i + 1) (j + 1)
+    else if c < 0 then go (i + 1) j
+    else go i (j + 1)
   in
   go 0 0
 
@@ -312,16 +328,27 @@ let run ?bound ?max_schedules ?(max_steps = 200_000) ?(sweep = true)
     in
     let clocks = Array.make nsteps [||] in
     let fib_clock = Array.init nf (fun _ -> Array.make nf (-1)) in
-    let last_touch : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
+    (* Per-object dependence frontier: a read depends on the last
+       write; a write depends on the last write AND every read since
+       it (it must not overtake either). *)
+    let last_write : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
+    let reads_since : (int * int, int list) Hashtbl.t = Hashtbl.create 256 in
     for j = 0 to nsteps - 1 do
       let sj = Vec.get steps j in
       let fj = fidx sj.st_fib in
       let deps =
         Array.fold_left
-          (fun acc o ->
-            match Hashtbl.find_opt last_touch o with
-            | Some i when not (List.mem i acc) -> i :: acc
-            | _ -> acc)
+          (fun acc (o, w) ->
+            let add acc i = if List.mem i acc then acc else i :: acc in
+            let acc =
+              match Hashtbl.find_opt last_write o with
+              | Some i -> add acc i
+              | None -> acc
+            in
+            if w then
+              List.fold_left add acc
+                (Option.value ~default:[] (Hashtbl.find_opt reads_since o))
+            else acc)
           [] sj.st_objs
       in
       List.iter
@@ -360,7 +387,16 @@ let run ?bound ?max_schedules ?(max_steps = 200_000) ?(sweep = true)
       c.(fj) <- j;
       clocks.(j) <- c;
       fib_clock.(fj) <- c;
-      Array.iter (fun o -> Hashtbl.replace last_touch o j) sj.st_objs
+      Array.iter
+        (fun (o, w) ->
+          if w then begin
+            Hashtbl.replace last_write o j;
+            Hashtbl.remove reads_since o
+          end
+          else
+            Hashtbl.replace reads_since o
+              (j :: Option.value ~default:[] (Hashtbl.find_opt reads_since o)))
+        sj.st_objs
     done
   in
 
@@ -585,6 +621,7 @@ let of_program ~name
         done;
         fun () ->
           while !remaining > 0 do
+            Hw.Engine.declare_wait_ambient ~on:"all-done" ();
             Hw.Engine.Cond.wait all_done
           done;
           let contents =

@@ -6,6 +6,13 @@
 
 open Core.Types
 
+(* The sweep runs stop-the-world from an engine event hook between two
+   slices: no fibre is mid-operation, so its reads need no DPOR
+   footprint (L1). *)
+[@@@chorus.noted
+  "sanitizers run stop-the-world between slices; no concurrent fibre can \
+   race their reads"]
+
 type violation = { rule : string; detail : string }
 
 let rules =
@@ -61,7 +68,11 @@ let run ?(strict = true) (pvm : pvm) : violation list =
   let ps = page_size pvm in
   let aligned off = off mod ps = 0 in
   let cache_tbl = Hashtbl.create 32 in
-  List.iter (fun (c : cache) -> Hashtbl.replace cache_tbl c.c_id c) pvm.caches;
+  List.iter
+    (fun (c : cache) ->
+      Hashtbl.replace cache_tbl c.c_id c
+      [@chorus.impure_ok "sanitizer-local scratch table, not PVM state"])
+    pvm.caches;
   let known_cache cid = Hashtbl.find_opt cache_tbl cid in
 
   (* cache list sanity *)
@@ -120,7 +131,8 @@ let run ?(strict = true) (pvm : pvm) : violation list =
               p.p_offset;
           if Hashtbl.mem offs p.p_offset then
             err "gmap" "cache %d: two pages at offset %d" c.c_id p.p_offset;
-          Hashtbl.replace offs p.p_offset ();
+          Hashtbl.replace offs p.p_offset ()
+          [@chorus.impure_ok "sanitizer-local scratch table, not PVM state"];
           (match Hashtbl.find_opt pvm.gmap (c.c_id, p.p_offset) with
           | Some (Resident p') when p' == p -> ()
           | Some (Sync_stub _) when not strict -> () (* pushOut in flight *)
@@ -138,7 +150,9 @@ let run ?(strict = true) (pvm : pvm) : violation list =
           | Some (other : page) ->
             err "frames" "frame %d owned by (%d,%d) and (%d,%d)" idx
               other.p_cache.c_id other.p_offset c.c_id p.p_offset
-          | None -> Hashtbl.replace frame_owner idx p);
+          | None ->
+            Hashtbl.replace frame_owner idx p
+            [@chorus.impure_ok "sanitizer-local scratch table, not PVM state"]);
           (match pvm.page_of_frame.(idx) with
           | Some p' when p' == p -> ()
           | Some _ ->
@@ -215,7 +229,8 @@ let run ?(strict = true) (pvm : pvm) : violation list =
         if List.memq node stack then
           err "history" "cache %d: cycle through %d" c.c_id node.c_id
         else if not (Hashtbl.mem visited node.c_id) then begin
-          Hashtbl.replace visited node.c_id ();
+          Hashtbl.replace visited node.c_id ()
+          [@chorus.impure_ok "sanitizer-local scratch table, not PVM state"];
           List.iter (fun f -> climb (node :: stack) f.f_parent) node.c_parents
         end
       in
@@ -308,7 +323,8 @@ let run ?(strict = true) (pvm : pvm) : violation list =
       let idx = p.p_frame.Hw.Phys_mem.index in
       if Hashtbl.mem seen idx then
         err "reclaim" "page (%d,%d) queued twice" p.p_cache.c_id p.p_offset;
-      Hashtbl.replace seen idx ())
+      Hashtbl.replace seen idx ()
+      [@chorus.impure_ok "sanitizer-local scratch table, not PVM state"])
     pvm.reclaim;
   List.iter
     (fun (c : cache) ->

@@ -41,13 +41,18 @@ let page_offsets pvm ~off ~size =
    its pages, or pending keyed on it)? *)
 let has_stub_readers pvm (cache : cache) =
   List.exists (fun (p : page) -> p.p_cow_stubs <> []) cache.c_pages
-  || Hashtbl.fold
-       (fun (cid, _) _ acc -> acc || cid = cache.c_id)
-       pvm.stub_sources false
+  || (Hashtbl.fold
+        (fun (cid, _) _ acc -> acc || cid = cache.c_id)
+        pvm.stub_sources false)
+     [@chorus.noted
+       "scans the whole pending-stub table for rows keyed on this cache; \
+        key-set footprints cannot express a whole-table read — see DESIGN.md \
+        §4f"]
 
 (* A hidden (zombie) cache is collectable once nothing reads it:
    no fragment children, no mapping regions, no stub readers. *)
 let collectable pvm (cache : cache) =
+  note_structure ~write:false pvm;
   cache.c_alive && cache.c_zombie && cache.c_children = []
   && cache.c_mappings = []
   && not (has_stub_readers pvm cache)
@@ -55,6 +60,7 @@ let collectable pvm (cache : cache) =
 (* Detach [cache]'s fragment links to parents it no longer references;
    collect zombie history chains that become childless. *)
 let rec detach_unreferenced pvm (cache : cache) ~parents_before =
+  note_structure pvm;
   List.iter
     (fun (parent : cache) ->
       let still =
@@ -79,22 +85,29 @@ and teardown pvm (cache : cache) =
   let rec kill_destination_stubs budget =
     if budget = 0 then failwith "teardown: destination stubs not draining";
     let killed = ref false in
-    Hashtbl.iter
-      (fun _ entry ->
-        match entry with
-        | Cow_stub s when s.cs_cache == cache && s.cs_alive ->
-          killed := true;
-          Pervpage.kill pvm s
-        | _ -> ())
-      (Hashtbl.copy pvm.gmap);
+    (Hashtbl.iter
+       (fun _ entry ->
+         match entry with
+         | Cow_stub s when s.cs_cache == cache && s.cs_alive ->
+           killed := true;
+           Pervpage.kill pvm s
+         | _ -> ())
+       (Hashtbl.copy pvm.gmap)
+     [@chorus.noted
+       "teardown sweeps every map row for stubs destined to the dying \
+        cache; key-set footprints cannot express a whole-table read — see \
+        DESIGN.md §4f"]);
     if !killed then kill_destination_stubs (budget - 1)
   in
   kill_destination_stubs 64;
   (* pending stubs reading through us get their values now *)
-  Hashtbl.iter
-    (fun (cid, o) _ ->
-      if cid = cache.c_id then Pervpage.materialize_pending pvm cache ~off:o)
-    (Hashtbl.copy pvm.stub_sources);
+  (Hashtbl.iter
+     (fun (cid, o) _ ->
+       if cid = cache.c_id then Pervpage.materialize_pending pvm cache ~off:o)
+     (Hashtbl.copy pvm.stub_sources)
+   [@chorus.noted
+     "teardown sweeps every pending-stub row keyed on the dying cache; see \
+      DESIGN.md §4f"]);
   (* drop our pages; flushing can insert new ones behind the
      iteration, so drain to a fixpoint *)
   let rec drain_pages budget =
@@ -137,6 +150,7 @@ let child_overlap (f : frag) ~off ~size =
    children and other fragment children do; so do pending per-page
    stubs whose source key names this cache. *)
 let range_has_readers pvm (cache : cache) ~off ~size =
+  note_structure ~write:false pvm;
   List.exists
     (fun (child : cache) ->
       List.exists
@@ -144,7 +158,9 @@ let range_has_readers pvm (cache : cache) ~off ~size =
         child.c_parents)
     cache.c_children
   || List.exists
-       (fun o -> Hashtbl.mem pvm.stub_sources (cache.c_id, o))
+       (fun o ->
+         note_frag ~write:false pvm cache ~off:o;
+         Hashtbl.mem pvm.stub_sources (cache.c_id, o))
        (page_offsets pvm ~off ~size)
 
 (* Give the purged range a new hidden identity: a zombie history node
@@ -156,6 +172,7 @@ let range_has_readers pvm (cache : cache) ~off ~size =
    changes dynamically", §4.2.5); our inverted structures make it a
    pointer splice. *)
 let split_to_zombie pvm (cache : cache) ~off ~size =
+  note_structure pvm;
   let z = Install.new_cache pvm ~anonymous:cache.c_anonymous ~is_history:true () in
   z.c_zombie <- true;
   (* Old values already pushed to an anonymous swap are pulled back so
@@ -193,6 +210,8 @@ let split_to_zombie pvm (cache : cache) ~off ~size =
   (* Re-key pending stubs first so migrating pages re-thread them. *)
   List.iter
     (fun o ->
+      note_frag pvm cache ~off:o;
+      note_frag pvm z ~off:o;
       match Hashtbl.find_opt pvm.stub_sources (cache.c_id, o) with
       | None -> ()
       | Some stubs ->
@@ -224,6 +243,7 @@ let split_to_zombie pvm (cache : cache) ~off ~size =
           p.p_cow_stubs <-
             s' :: List.filter (fun x -> not (x == s)) p.p_cow_stubs
         | Src_cache (c, so) -> (
+          note_frag pvm c ~off:so;
           match Hashtbl.find_opt pvm.stub_sources (c.c_id, so) with
           | Some stubs ->
             Hashtbl.replace pvm.stub_sources (c.c_id, so)
@@ -300,7 +320,10 @@ let split_to_zombie pvm (cache : cache) ~off ~size =
    per-page stubs, which no page descriptor of this cache records —
    must be invalidated so the next access faults onto the new
    contents. *)
-let invalidate_window pvm (cache : cache) ~off ~size =
+let[@chorus.spanned
+     "runs under purge_range, whose callers (copy, move) open the span"] invalidate_window
+    pvm (cache : cache) ~off ~size =
+  note_structure pvm;
   let ps = page_size pvm in
   List.iter
     (fun (region : region) ->
@@ -325,6 +348,7 @@ let invalidate_window pvm (cache : cache) ~off ~size =
 
 let purge_range pvm (cache : cache) ~off ~size =
   if size > 0 then begin
+    note_structure pvm;
     invalidate_window pvm cache ~off ~size;
     (* Drop the range's pages, materialising stubs that read through
        individual pages.  Materialisation can evict pages and pull
@@ -365,7 +389,9 @@ let purge_range pvm (cache : cache) ~off ~size =
       if budget = 0 then failwith "purge_range: pending stubs not draining";
       let found =
         List.exists
-          (fun o -> Hashtbl.mem pvm.stub_sources (cache.c_id, o))
+          (fun o ->
+            note_frag pvm cache ~off:o;
+            Hashtbl.mem pvm.stub_sources (cache.c_id, o))
           offsets
       in
       if found then begin
@@ -399,7 +425,8 @@ let per_page_limit_pages = 8 (* 64 KB with 8 KB pages: the IPC slot size *)
 
 (* Copy [size] bytes eagerly through real memory, honouring page
    boundaries on both sides; works for any (mis)alignment. *)
-let eager_copy pvm ~(src : cache) ~src_off ~(dst : cache) ~dst_off ~size =
+let[@chorus.spanned "runs under the copy/move span of its callers"] eager_copy
+    pvm ~(src : cache) ~src_off ~(dst : cache) ~dst_off ~size =
   let ps = page_size pvm in
   let rec go copied =
     if copied < size then begin
@@ -502,6 +529,7 @@ let move pvm ~(src : cache) ~src_off ~(dst : cache) ~dst_off ~size () =
   if src == dst && ranges_overlap ~a_off:src_off ~b_off:dst_off ~size then
     invalid_arg "move: overlapping ranges within one cache";
   if size > 0 then
+    spanned pvm "move" @@ fun () ->
     if aligned3 pvm src_off dst_off size then begin
       purge_range pvm dst ~off:dst_off ~size;
       List.iter
@@ -558,6 +586,7 @@ let fill_up pvm (cache : cache) ~offset bytes =
    state exactly like a mapped store would. *)
 let write_through pvm (cache : cache) ~offset bytes =
   check_cache_alive cache;
+  spanned pvm "writeThrough" @@ fun () ->
   let ps = page_size pvm in
   let len = Bytes.length bytes in
   let rec go done_ =
@@ -578,6 +607,7 @@ let write_through pvm (cache : cache) ~offset bytes =
 (* copyBack: read the cache's current logical contents. *)
 let copy_back pvm (cache : cache) ~offset ~size =
   check_cache_alive cache;
+  spanned pvm "copyBack" @@ fun () ->
   let ps = page_size pvm in
   let out = Bytes.create size in
   let rec go done_ =
@@ -658,7 +688,11 @@ let set_protection pvm (cache : cache) ~offset ~size prot =
    that is its own transitive child).  Mark from the user-visible
    roots through fragment-parent and stub-source edges, then sweep the
    unreachable zombies wholesale. *)
-let sweep_zombies pvm =
+let[@chorus.noted
+     "global mark-and-sweep over every map row and pending-stub row; \
+      key-set footprints cannot express a whole-table read — see DESIGN.md \
+      §4f"] sweep_zombies pvm =
+  note_structure pvm;
   let marked = Hashtbl.create 32 in
   (* destination cache id -> source caches its live stubs read *)
   let stub_edges = Hashtbl.create 32 in
@@ -733,6 +767,7 @@ let sweep_zombies pvm =
    hidden nodes are swept afterwards. *)
 let destroy pvm (cache : cache) =
   check_cache_alive cache;
+  note_structure pvm;
   if cache.c_mappings <> [] then
     invalid_arg "cacheDestroy: regions still map this cache";
   if cache.c_children = [] then teardown pvm cache
@@ -743,7 +778,9 @@ let destroy pvm (cache : cache) =
   sweep_zombies pvm
 
 let stats_of pvm = pvm.stats
-let mapping_count (cache : cache) = List.length cache.c_mappings
+let mapping_count (cache : cache) =
+  note_structure ~write:false cache.c_pvm;
+  List.length cache.c_mappings
 let is_alive (cache : cache) = cache.c_alive
 
 (* Stub-death reaper: a hidden history cache whose last reader was a
@@ -751,14 +788,19 @@ let is_alive (cache : cache) = cache.c_alive
    dies.  Installed on every PVM instance at creation. *)
 let has_stub_readers pvm (cache : cache) =
   List.exists (fun (p : page) -> p.p_cow_stubs <> []) cache.c_pages
-  || Hashtbl.fold
-       (fun (cid, _) _ acc -> acc || cid = cache.c_id)
-       pvm.stub_sources false
+  || (Hashtbl.fold
+        (fun (cid, _) _ acc -> acc || cid = cache.c_id)
+        pvm.stub_sources false)
+     [@chorus.noted
+       "scans the whole pending-stub table for rows keyed on this cache; \
+        key-set footprints cannot express a whole-table read — see DESIGN.md \
+        §4f"]
 
 let install_reaper pvm =
   pvm.zombie_reaper <-
     Some
       (fun cache ->
+        note_structure pvm;
         (if Sys.getenv_opt "REAPER_DEBUG" <> None then
            Printf.printf
              "[reaper] cache=%d alive=%b zombie=%b children=%d mappings=%d               stub_readers=%b\n"

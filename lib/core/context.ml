@@ -20,13 +20,17 @@ let create pvm =
 (* context.switch: set the current user context. *)
 let switch pvm (ctx : context) =
   check_context_alive ctx;
+  note_structure pvm;
   pvm.current <- Some ctx
 
-let current pvm = pvm.current
+let current pvm =
+  note_structure ~write:false pvm;
+  pvm.current
 
 (* context.getRegionList *)
 let region_list (ctx : context) =
   check_context_alive ctx;
+  note_structure ~write:false ctx.ctx_pvm;
   ctx.ctx_regions
 
 (* context.findRegion: used by the Chorus rgn*FromActor operations. *)

@@ -9,6 +9,7 @@
 open Types
 
 let find_region (ctx : context) ~addr =
+  note_structure ~write:false ctx.ctx_pvm;
   List.find_opt
     (fun r -> addr >= r.r_addr && addr < r.r_addr + r.r_size)
     ctx.ctx_regions
@@ -19,7 +20,9 @@ let find_region (ctx : context) ~addr =
    history also receives a copy of the (pre-divergence) value — the
    complication of §4.2.3: at the time the history was created, its
    value was logically taken from the same source. *)
-let rec child_copy pvm (cache : cache) ~off =
+let[@chorus.spanned
+     "runs under the fault span opened by handle, or the copy/move span of \
+      the eager paths"] rec child_copy pvm (cache : cache) ~off =
   (* [finish] re-probes the destination at insert time: the frame
      allocation and copy/zero charges are scheduling points, and a
      concurrent fibre may resolve the same miss first (§3.3.3). *)

@@ -12,23 +12,25 @@ let key (cache : cache) off : gkey = (cache.c_id, off)
    fragment-granular, so two slices conflict exactly when they meet
    here on the same key (or on a coarse object class, see Types). *)
 
-let find pvm cache ~off =
-  note_frag pvm cache ~off;
+let[@chorus.hot] [@chorus.spanned
+     "map probe under the fault/copy span of every caller"] find pvm cache
+    ~off =
+  note_frag ~write:false pvm cache ~off;
   charge pvm Hw.Cost.Map_lookup;
   Hashtbl.find_opt pvm.gmap (key cache off)
 
 (* Lookup without charging the simulated clock, for internal
    bookkeeping that a real implementation would do with direct
    pointers rather than a map probe. *)
-let peek pvm cache ~off =
-  note_frag pvm cache ~off;
+let[@chorus.hot] peek pvm cache ~off =
+  note_frag ~write:false pvm cache ~off;
   Hashtbl.find_opt pvm.gmap (key cache off)
 
-let set pvm cache ~off entry =
+let[@chorus.hot] set pvm cache ~off entry =
   note_frag pvm cache ~off;
   Hashtbl.replace pvm.gmap (key cache off) entry
 
-let remove pvm cache ~off =
+let[@chorus.hot] remove pvm cache ~off =
   note_frag pvm cache ~off;
   Hashtbl.remove pvm.gmap (key cache off)
 
@@ -50,7 +52,9 @@ let rec wait_not_in_transit pvm cache ~off =
    insertion cost is charged: charging is a scheduling point, and the
    fragment must already read as in-transit when another fibre runs —
    otherwise two fibres can both elect it for pull-in or eviction. *)
-let insert_sync_stub pvm cache ~off =
+let[@chorus.spanned
+     "runs under the pullIn/pushOut span opened by the transfer \
+      initiator"] insert_sync_stub pvm cache ~off =
   let cond = Hw.Engine.Cond.create () in
   (* the inserting fibre drives the transfer: waiters blocked on this
      stub are blocked on it, and the watchdog walks that edge *)

@@ -25,6 +25,7 @@ let whole_window = max_int / 2
    responsible for, derived from the fragments of the history that
    name [src] as parent — no separate bookkeeping needed. *)
 let covering_history (src : cache) ~off =
+  note_structure ~write:false src.c_pvm;
   match src.c_history with
   | None -> None
   | Some h ->
@@ -105,6 +106,7 @@ let resolve_source_write pvm (page : page) =
 (* Insert a fresh working cache between [src] and its previous
    history, preserving the shape invariant (§4.2.3, Figure 3.c/3.d). *)
 let insert_working_cache pvm (src : cache) =
+  note_structure pvm;
   let w = Install.new_cache pvm ~anonymous:true ~is_history:true () in
   (* nobody holds a handle to a working cache: collect it as soon as
      its last reader detaches *)
@@ -142,8 +144,9 @@ let protect_source_range pvm (src : cache) ~off ~size =
    dst[dst_off, ...).  The caller (Cache.copy) has already purged the
    destination range.  Builds or extends the history tree and
    read-protects the source. *)
-let record_copy pvm ~(src : cache) ~src_off ~(dst : cache) ~dst_off ~size
-    ~policy =
+let[@chorus.spanned "runs under the copy span opened by Cache.copy"] record_copy
+    pvm ~(src : cache) ~src_off ~(dst : cache) ~dst_off ~size ~policy =
+  note_structure pvm;
   charge pvm Hw.Cost.Tree_setup;
   charge pvm Hw.Cost.Copy_setup;
   let tr = Hw.Engine.tracer pvm.engine in
@@ -191,6 +194,7 @@ let record_copy pvm ~(src : cache) ~src_off ~(dst : cache) ~dst_off ~size
    the copy-protection flags (lazily; hardware entries are refreshed
    at the next fault, costing nothing now — see DESIGN.md). *)
 let child_detached (parent : cache) (child : cache) =
+  note_structure parent.c_pvm;
   let still_references =
     List.exists (fun f -> f.f_parent == parent) child.c_parents
   in
@@ -207,7 +211,10 @@ let child_detached (parent : cache) (child : cache) =
    sources?  Used by Cache.copy to refuse building a cyclic tree when
    a cache is copied onto one of its own ancestors (the paper's Unix
    workloads never do this; we fall back to an eager copy). *)
-let reachable pvm ~(from : cache) (target : cache) =
+let[@chorus.noted
+     "cycle check walks the whole copy graph (every fragment list and map \
+      row); key-set footprints cannot express a whole-table read — see \
+      DESIGN.md §4f"] reachable pvm ~(from : cache) (target : cache) =
   let visited = Hashtbl.create 16 in
   let rec go (c : cache) =
     if c == target then true
@@ -236,11 +243,13 @@ let reachable pvm ~(from : cache) (target : cache) =
 (* --- Introspection ---------------------------------------------- *)
 
 let rec root_of (cache : cache) =
+  note_structure ~write:false cache.c_pvm;
   match cache.c_parents with
   | [] -> cache
   | f :: _ -> root_of f.f_parent
 
 let rec depth_to_root (cache : cache) =
+  note_structure ~write:false cache.c_pvm;
   match cache.c_parents with
   | [] -> 0
   | f :: _ -> 1 + depth_to_root f.f_parent
@@ -252,7 +261,8 @@ let rec depth_to_root (cache : cache) =
    - a cache that is not a working history object has at most one
      child; a working one has at most two (binary tree);
    - the parent relation is acyclic. *)
-let check_invariant pvm =
+let[@chorus.noted "invariant checks run between slices (property tests, sanitizers)"] check_invariant
+    pvm =
   let errors = ref [] in
   let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
   List.iter
@@ -288,7 +298,8 @@ let check_invariant pvm =
 (* Pretty-print the history tree containing [cache] (for the Figure 3
    scenarios).  Pages are shown by page index within the segment, with
    [*] marking read-protected (grey in the paper's figure) frames. *)
-let pp_tree ppf (cache : cache) =
+let[@chorus.noted "debug pretty-printer; never runs inside an engine task"] pp_tree
+    ppf (cache : cache) =
   let pvm = cache.c_pvm in
   let ps = page_size pvm in
   let label c =

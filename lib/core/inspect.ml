@@ -1,5 +1,11 @@
 open Types
 
+(* Flight-recorder / debugger reads: run between slices (crash bundles,
+   post-mortem dumps, REPL inspection), never from a competing fibre. *)
+[@@@chorus.noted
+  "inspection reads run between slices (crash bundles, dumps); no \
+   concurrent fibre can race them"]
+
 let pp_frag pvm ppf (f : frag) =
   let ps = page_size pvm in
   if f.f_size >= History.whole_window then

@@ -18,7 +18,10 @@ end
 
 (* Raw local-cache constructor; the public entry point is
    [Cache.create], working caches are made by [History]. *)
-let new_cache pvm ?backing ~anonymous ~is_history () =
+let[@chorus.spanned
+     "cacheCreate's only charge; attributed to the enclosing GMI span when \
+      one is open (copy, fault) and standalone otherwise"] new_cache pvm
+    ?backing ~anonymous ~is_history () =
   note_structure pvm;
   charge pvm Hw.Cost.Cache_create;
   let cache =
@@ -46,6 +49,7 @@ let new_cache pvm ?backing ~anonymous ~is_history () =
    its (cache, offset) to become resident (their source had been
    paged out, so they held a (cache, offset) reference). *)
 let rethread_pending_stubs pvm (page : page) =
+  note_frag pvm page.p_cache ~off:page.p_offset;
   let k = (page.p_cache.c_id, page.p_offset) in
   match Hashtbl.find_opt pvm.stub_sources k with
   | None -> ()
@@ -56,6 +60,7 @@ let rethread_pending_stubs pvm (page : page) =
     page.p_cow_stubs <- live @ page.p_cow_stubs
 
 let add_pending_stub pvm ~src_cache ~src_off stub =
+  note_frag pvm src_cache ~off:src_off;
   let k = (src_cache.c_id, src_off) in
   let existing =
     Option.value ~default:[] (Hashtbl.find_opt pvm.stub_sources k)
@@ -65,7 +70,9 @@ let add_pending_stub pvm ~src_cache ~src_off stub =
 (* Memory-pressure counter samples for the trace (and so for the
    profiler's pressure series): emitted wherever the resident set
    changes, they cost nothing when tracing is off. *)
-let note_pressure pvm =
+let[@chorus.noted
+     "reads the reclaim queue only when tracing is on; tracing is never on \
+      under the explorer"] note_pressure pvm =
   let tr = Hw.Engine.tracer pvm.engine in
   if Obs.Trace.enabled tr then begin
     Obs.Trace.counter tr "pvm.reclaim_queue" (List.length pvm.reclaim);
@@ -109,8 +116,9 @@ let insert_page pvm (cache : cache) ~off frame ~pulled_prot ~cow_protected =
    destination must be re-probed at insert time; on a lost race the
    frame is returned to the pool and the caller settles on whatever
    value won (§3.3.3). *)
-let try_insert_fresh pvm (cache : cache) ~off frame ~pulled_prot
-    ~cow_protected =
+let[@chorus.spanned
+     "leaf helper: callers are the spanned fault/copy resolution paths"] try_insert_fresh
+    pvm (cache : cache) ~off frame ~pulled_prot ~cow_protected =
   if !For_testing.skip_insert_probe then
     Some (insert_page pvm cache ~off frame ~pulled_prot ~cow_protected)
   else
@@ -126,7 +134,9 @@ let try_insert_fresh pvm (cache : cache) ~off frame ~pulled_prot
 (* Detach a page from every structure.  Per-virtual-page stubs still
    reading through it must have been materialised or retargeted by the
    caller. *)
-let remove_page pvm (page : page) ~free_frame =
+let[@chorus.spanned
+     "leaf helper: callers are the spanned eviction/purge/teardown paths"] remove_page
+    pvm (page : page) ~free_frame =
   assert (page.p_alive);
   assert (page.p_cow_stubs = []);
   note_frames pvm;

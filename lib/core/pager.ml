@@ -181,6 +181,7 @@ let start_daemon pvm ~low_water ~high_water ~period =
       let rec loop () =
         Hw.Engine.sleep period;
         let rec reclaim () =
+          note_frames pvm;
           if Hw.Phys_mem.free_frames pvm.mem < high_water then
             match List.find_opt (can_evict pvm) pvm.reclaim with
             | Some victim ->
@@ -193,41 +194,56 @@ let start_daemon pvm ~low_water ~high_water ~period =
       in
       loop ())
 
+let transfer_in_flight pvm =
+  (Hashtbl.fold
+     (fun _ entry acc ->
+       match (acc, entry) with
+       | Some _, _ -> acc
+       | None, Sync_stub cond -> Some cond
+       | None, (Resident _ | Cow_stub _) -> None)
+     pvm.gmap None)
+  [@chorus.noted
+    "last-resort scan for any in-flight transfer when the pool and the \
+     reclaim queue are both empty; key-set footprints cannot express a \
+     whole-table read — see DESIGN.md §4f"]
+
+(* The slow path of [alloc_frame], entered only when the frame pool is
+   empty: evict FIFO victims, or block on an in-flight transfer when
+   every unwired page is mid-transfer at once.  Cold by construction,
+   so unlike [alloc_frame] it may allocate freely. *)
+let[@chorus.spanned
+     "runs under the spans of every allocation path (fault, copy, \
+      history-materialise, pager upcalls)"] rec reclaim_for_frame pvm =
+  note_frames pvm;
+  match Hw.Phys_mem.alloc_opt pvm.mem with
+  | Some frame -> frame
+  | None -> (
+    match List.find_opt (can_evict pvm) pvm.reclaim with
+    | Some victim ->
+      evict pvm victim;
+      reclaim_for_frame pvm
+    | None -> (
+      (* Under contention every unwired page can be mid-transfer at
+         once; each such transfer either frees a frame (eviction) or
+         makes its page evictable again when it completes, so this
+         is pressure, not exhaustion: block until one finishes and
+         retry.  (Not a plain yield — the clock only advances once
+         this fibre genuinely sleeps.) *)
+      match transfer_in_flight pvm with
+      | Some cond ->
+        Hw.Engine.declare_wait pvm.engine ~on:"frame"
+          ~owner:(Hw.Engine.Cond.owner cond) ();
+        Hw.Engine.Cond.wait cond;
+        reclaim_for_frame pvm
+      | None -> raise Gmi.No_memory))
+
 (* Allocate a frame, reclaiming FIFO victims when physical memory is
    exhausted. *)
-let alloc_frame pvm =
+let[@chorus.hot] [@chorus.spanned
+     "runs under the spans of every allocation path (fault, copy, \
+      history-materialise, pager upcalls)"] alloc_frame pvm =
   note_frames pvm;
   charge pvm Hw.Cost.Frame_alloc;
-  let transfer_in_flight () =
-    Hashtbl.fold
-      (fun _ entry acc ->
-        match (acc, entry) with
-        | Some _, _ -> acc
-        | None, Sync_stub cond -> Some cond
-        | None, (Resident _ | Cow_stub _) -> None)
-      pvm.gmap None
-  in
-  let rec go () =
-    match Hw.Phys_mem.alloc_opt pvm.mem with
-    | Some frame -> frame
-    | None -> (
-      match List.find_opt (can_evict pvm) pvm.reclaim with
-      | Some victim ->
-        evict pvm victim;
-        go ()
-      | None -> (
-        (* Under contention every unwired page can be mid-transfer at
-           once; each such transfer either frees a frame (eviction) or
-           makes its page evictable again when it completes, so this
-           is pressure, not exhaustion: block until one finishes and
-           retry.  (Not a plain yield — the clock only advances once
-           this fibre genuinely sleeps.) *)
-        match transfer_in_flight () with
-        | Some cond ->
-          Hw.Engine.declare_wait pvm.engine ~on:"frame"
-            ~owner:(Hw.Engine.Cond.owner cond) ();
-          Hw.Engine.Cond.wait cond;
-          go ()
-        | None -> raise Gmi.No_memory))
-  in
-  go ()
+  match Hw.Phys_mem.alloc_opt pvm.mem with
+  | Some frame -> frame
+  | None -> reclaim_for_frame pvm

@@ -10,6 +10,7 @@
 open Types
 
 let find_covering (cache : cache) ~off =
+  note_structure ~write:false cache.c_pvm;
   List.find_opt
     (fun f -> off >= f.f_off && off < f.f_off + f.f_size)
     cache.c_parents
@@ -40,10 +41,12 @@ let subtract f ~off ~size =
   end
 
 let remove_range cache ~off ~size =
+  note_structure cache.c_pvm;
   cache.c_parents <-
     List.concat_map (fun f -> subtract f ~off ~size) cache.c_parents
 
 let insert cache frag =
+  note_structure cache.c_pvm;
   remove_range cache ~off:frag.f_off ~size:frag.f_size;
   let sorted =
     List.sort (fun a b -> compare a.f_off b.f_off) (frag :: cache.c_parents)
@@ -58,6 +61,7 @@ let insert cache frag =
    cache covers the same offsets as the source, so offsets are
    unchanged. *)
 let redirect cache ~old_parent ~new_parent =
+  note_structure cache.c_pvm;
   let changed = ref false in
   cache.c_parents <-
     List.map
@@ -76,6 +80,7 @@ let redirect cache ~old_parent ~new_parent =
   end
 
 let detach_all (cache : cache) =
+  note_structure cache.c_pvm;
   List.iter
     (fun f ->
       f.f_parent.c_children <-
@@ -85,7 +90,8 @@ let detach_all (cache : cache) =
 
 (* Invariant check used by the property tests: fragments sorted,
    non-overlapping, sizes positive, child/parent links consistent. *)
-let check_invariant cache =
+let[@chorus.noted "invariant checks run between slices (property tests, sanitizers)"] check_invariant
+    cache =
   let rec sorted = function
     | a :: (b :: _ as rest) ->
       a.f_size > 0 && a.f_off + a.f_size <= b.f_off && sorted rest

@@ -18,7 +18,9 @@ let with_wired (page : page) f =
 
 (* Install the stubs for a copy src[src_off..+size) -> dst[dst_off..).
    The caller has purged the destination range. *)
-let setup_copy pvm ~(src : cache) ~src_off ~(dst : cache) ~dst_off ~size =
+let[@chorus.spanned
+     "runs under the copy/move span opened by Cache.copy and Cache.move"]
+    setup_copy pvm ~(src : cache) ~src_off ~(dst : cache) ~dst_off ~size =
   let ps = page_size pvm in
   assert (size mod ps = 0);
   let n = size / ps in
@@ -59,6 +61,7 @@ let unthread pvm (stub : cow_stub) =
   | Src_page p ->
     p.p_cow_stubs <- List.filter (fun s -> not (s == stub)) p.p_cow_stubs
   | Src_cache (c, o) -> (
+    note_frag pvm c ~off:o;
     let k = (c.c_id, o) in
     match Hashtbl.find_opt pvm.stub_sources k with
     | None -> ()
@@ -79,7 +82,10 @@ let reap_source pvm (source : cache) =
 
 (* Materialise [stub]: give the destination its own page holding the
    deferred value, replacing the stub in the global map. *)
-let materialize pvm (stub : cow_stub) =
+let[@chorus.spanned
+     "runs under the fault span of resolve_read/resolve_write or the \
+      write_through span of the overwrite paths"] materialize pvm
+    (stub : cow_stub) =
   assert (stub.cs_alive);
   let source = source_cache_of stub in
   pvm.stats.n_stub_resolves <- pvm.stats.n_stub_resolves + 1;
@@ -174,6 +180,7 @@ let resolve_write pvm (stub : cow_stub) = materialize pvm stub
 (* Materialise every pending stub whose deferred source value lives at
    (cache, off): called before that value is overwritten. *)
 let materialize_pending pvm (cache : cache) ~off =
+  note_frag ~write:false pvm cache ~off;
   let k = (cache.c_id, off) in
   match Hashtbl.find_opt pvm.stub_sources k with
   | None -> ()

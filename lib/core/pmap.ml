@@ -8,12 +8,15 @@
 open Types
 
 let register_page pvm (page : page) =
+  note_frames pvm;
   pvm.page_of_frame.(page.p_frame.Hw.Phys_mem.index) <- Some page
 
 let unregister_page pvm (page : page) =
+  note_frames pvm;
   pvm.page_of_frame.(page.p_frame.Hw.Phys_mem.index) <- None
 
 let page_at_frame pvm (frame : Hw.Phys_mem.frame) =
+  note_frames ~write:false pvm;
   pvm.page_of_frame.(frame.Hw.Phys_mem.index)
 
 let is_borrowed (page : page) (region : region) =
@@ -36,7 +39,12 @@ let effective_prot (page : page) (region : region) =
   then Hw.Prot.remove_write p
   else p
 
-let enter pvm (page : page) (region : region) ~vpn =
+let[@chorus.hot] [@chorus.alloc_ok
+     "the mapping record (region, vpn) and its list cell are the pmap \
+      bookkeeping a real kernel allocates per MMU entry; the filter \
+      closures run only on the rare replacement path"] [@chorus.spanned
+     "runs under the fault span opened by Fault.handle"] enter
+    pvm (page : page) (region : region) ~vpn =
   (* Replacing another page's entry: retire its pmap record so a later
      teardown of that page does not unmap us. *)
   (match Hw.Mmu.query region.r_context.ctx_space ~vpn with
@@ -67,7 +75,9 @@ let drop_mapping (page : page) (region : region) ~vpn =
 
 (* Recompute the hardware protection of every mapping of [page];
    charges one protection update per refreshed entry. *)
-let refresh_prot pvm (page : page) =
+let[@chorus.spanned
+     "leaf helper: callers are the spanned GMI entry points (setProtection, \
+      fault resolution)"] refresh_prot pvm (page : page) =
   List.iter
     (fun ((region : region), vpn) ->
       charge pvm Hw.Cost.Mmu_protect;
@@ -78,7 +88,8 @@ let refresh_prot pvm (page : page) =
 (* Read-protect [page] everywhere, marking it copied.  This is the
    per-page cost of initiating a deferred copy (paper §5.3.2: ~16us
    per page of the source). *)
-let cow_protect pvm (page : page) =
+let[@chorus.spanned "runs under the copy span (deferred-copy setup)"] cow_protect
+    pvm (page : page) =
   if not page.p_cow_protected then begin
     page.p_cow_protected <- true;
     charge pvm Hw.Cost.Mmu_protect;
@@ -93,7 +104,8 @@ let cow_protect pvm (page : page) =
    been saved in the history object.  Borrowed read mappings in
    descendant contexts would otherwise observe the new value, so they
    are invalidated and will re-fault onto the saved copy. *)
-let cow_release pvm (page : page) =
+let[@chorus.spanned "runs under the fault span (source write resolution)"] cow_release
+    pvm (page : page) =
   page.p_cow_protected <- false;
   let borrowed, own = List.partition (fun (r, _) -> is_borrowed page r) page.p_mappings in
   List.iter
@@ -111,7 +123,9 @@ let cow_release pvm (page : page) =
 
 (* Remove every MMU entry pointing at [page]'s frame (eviction,
    invalidation, destruction). *)
-let unmap_all pvm (page : page) =
+let[@chorus.spanned
+     "leaf helper: callers are the spanned eviction/teardown paths"] unmap_all
+    pvm (page : page) =
   List.iter
     (fun ((region : region), vpn) ->
       charge pvm Hw.Cost.Mmu_protect;

@@ -34,7 +34,9 @@ let cost pvm = pvm.cost
 let page_size = Types.page_size
 let stats pvm = pvm.stats
 let tracer pvm = Hw.Engine.tracer pvm.engine
-let charge_prim = Types.charge
+let[@chorus.spanned
+     "re-export of the charge primitive for upper layers; L3's subjects are \
+      its callers"] charge_prim = Types.charge
 
 (* Publish the legacy stats counters into the registry before handing
    it out, so one report carries everything: the registry subsumes
@@ -78,13 +80,15 @@ let access_frame pvm (ctx : context) ~addr ~access =
   (* MMU hits never probe the global map, so the schedule explorer
      would not see this access; note the touched fragment here so
      conflicting program reads/writes never classify as independent. *)
-  if Hw.Engine.tracking pvm.engine then
+  if Hw.Engine.tracking pvm.engine then begin
+    note_structure ~write:false pvm;
     List.iter
       (fun (r : region) ->
         if r.r_alive && addr >= r.r_addr && addr < r.r_addr + r.r_size then
-          note_frag pvm r.r_cache
+          note_frag ~write:(access = `Write) pvm r.r_cache
             ~off:(page_align_down pvm (r.r_offset + (addr - r.r_addr))))
-      ctx.ctx_regions;
+      ctx.ctx_regions
+  end;
   let rec go retries =
     if retries > 32 then
       failwith "PVM: page fault resolution did not converge";

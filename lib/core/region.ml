@@ -17,6 +17,8 @@ let create pvm (ctx : context) ~addr ~size ~prot (cache : cache) ~offset =
   Region_check.validate ~page_size:(page_size pvm) ~ctx_alive:ctx.ctx_alive
     ~cache_alive:cache.c_alive ~addr ~size ~offset
     ~existing:(List.map (fun r -> (r.r_addr, r.r_size)) ctx.ctx_regions);
+  spanned pvm "regionCreate" @@ fun () ->
+  note_structure pvm;
   charge pvm Hw.Cost.Region_create;
   let region =
     {
@@ -53,6 +55,8 @@ let split pvm (region : region) ~offset =
   if not (is_page_aligned pvm offset) then invalid_arg "split: unaligned";
   if offset <= 0 || offset >= region.r_size then
     invalid_arg "split: offset outside region";
+  spanned pvm "regionSplit" @@ fun () ->
+  note_structure pvm;
   charge pvm Hw.Cost.Region_create;
   let right =
     {
@@ -88,6 +92,7 @@ let split pvm (region : region) ~offset =
    the whole region. *)
 let set_protection pvm (region : region) prot =
   check_region_alive region;
+  spanned pvm "regionSetProtection" @@ fun () ->
   region.r_prot <- prot;
   List.iter
     (fun vpn ->
@@ -149,6 +154,8 @@ let status (region : region) =
 let destroy pvm (region : region) =
   check_region_alive region;
   if region.r_locked then unlock pvm region;
+  spanned pvm "regionDestroy" @@ fun () ->
+  note_structure pvm;
   charge pvm Hw.Cost.Region_destroy;
   let ps = page_size pvm in
   charge_span pvm Hw.Cost.Invalidate_page (pvm.cost.t_invalidate_page * (region.r_size / ps));

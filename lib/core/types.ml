@@ -161,12 +161,22 @@ let page_size pvm = Hw.Phys_mem.page_size pvm.mem
    records a cost event.  [charge_span] is for call sites that scale a
    primitive's cost themselves (e.g. a partial-page bcopy). *)
 let charge_span pvm prim span =
-  if span > 0 then begin
-    Obs.Metrics.charge pvm.obs ~idx:(Hw.Cost.prim_index prim) ~ns:span;
-    Hw.Cost.charge_traced ~tracer:(Hw.Engine.tracer pvm.engine) ~prim span
-  end
+  (if span > 0 then begin
+     Obs.Metrics.charge pvm.obs ~idx:(Hw.Cost.prim_index prim) ~ns:span;
+     Hw.Cost.charge_traced ~tracer:(Hw.Engine.tracer pvm.engine) ~prim span
+   end)
+  [@chorus.spanned "the charge primitive itself; L3's subjects are its callers"]
 
-let charge pvm prim = charge_span pvm prim (Hw.Cost.span_of pvm.cost prim)
+let charge pvm prim =
+  (charge_span pvm prim (Hw.Cost.span_of pvm.cost prim))
+  [@chorus.spanned "the charge primitive itself; L3's subjects are its callers"]
+
+(* One trace span around a GMI operation: free when tracing is off,
+   closed on the way out even on exceptions. *)
+let spanned pvm ?(cat = "vm") name body =
+  let tr = Hw.Engine.tracer pvm.engine in
+  if not (Obs.Trace.enabled tr) then body ()
+  else Obs.Trace.with_span tr ~cat name body
 
 (* Footprint notes for the schedule explorer ({!Check.Explore}): each
    shared object a slice touches is reported to the engine so the
@@ -176,11 +186,13 @@ let charge pvm prim = charge_span pvm prim (Hw.Cost.span_of pvm.cost prim)
    two allocation/reclaim transitions conflict: the victim choice
    depends on queue order), and the cache/context topology.  No-ops
    unless a scheduler is installed (Engine.note_access checks). *)
-let note_frag pvm (cache : cache) ~off =
-  Hw.Engine.note_access pvm.engine cache.c_id off
+let note_frag ?write pvm (cache : cache) ~off =
+  Hw.Engine.note_access ?write pvm.engine cache.c_id off
 
-let note_frames pvm = Hw.Engine.note_access pvm.engine (-1) 0
-let note_structure pvm = Hw.Engine.note_access pvm.engine (-2) 0
+let note_frames ?write pvm = Hw.Engine.note_access ?write pvm.engine (-1) 0
+
+let note_structure ?write pvm =
+  Hw.Engine.note_access ?write pvm.engine (-2) 0
 
 let page_align_down pvm off = off - (off mod page_size pvm)
 

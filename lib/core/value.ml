@@ -16,7 +16,11 @@ type located =
 let has_swapped (cache : cache) ~off =
   cache.c_anonymous && Hashtbl.mem cache.c_backed_offs off
 
-let rec locate pvm (cache : cache) ~off : located =
+let[@chorus.hot] [@chorus.alloc_ok
+     "the located sum is the function's result type: one word per \
+      resolution, freed by the minor collector"] [@chorus.spanned
+     "tree walk under the fault/copy span of every caller"] rec locate pvm
+    (cache : cache) ~off : located =
   match Global_map.wait_not_in_transit pvm cache ~off with
   | Some (Resident p) -> `Page p
   | Some (Cow_stub s) -> (
@@ -45,7 +49,10 @@ let rec locate pvm (cache : cache) ~off : located =
    asked (read-ahead).  Chunks colliding with pages already resident
    refresh their contents; chunks resolving a synchronization stub
    wake the sleepers. *)
-let deliver pvm (cache : cache) ~offset (bytes : Bytes.t) ~prot ~dirty =
+let[@chorus.spanned
+     "fillUp runs under the pullIn pager span or a segment manager's own \
+      request"] deliver pvm (cache : cache) ~offset (bytes : Bytes.t) ~prot
+    ~dirty =
   let ps = page_size pvm in
   if not (is_page_aligned pvm offset) then
     invalid_arg "fillUp: offset not page-aligned";
@@ -161,7 +168,9 @@ let pull_in_page pvm (cache : cache) ~off ~prot =
 (* Allocate a zero-filled page owned by [cache].  Allocation and the
    zeroing charge are scheduling points: when a concurrent fibre fills
    the slot first, settle on its value instead of orphaning it. *)
-let rec zero_fill_page pvm (cache : cache) ~off =
+let[@chorus.spanned
+     "runs under the fault span of Fault.handle or the copy span of the \
+      eager paths"] rec zero_fill_page pvm (cache : cache) ~off =
   let frame = Pager.alloc_frame pvm in
   charge pvm Hw.Cost.Bzero_page;
   Hw.Phys_mem.bzero frame;

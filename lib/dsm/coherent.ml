@@ -42,10 +42,15 @@ let message t = if t.latency > 0 then Hw.Engine.sleep t.latency
 let cache (site : site) =
   match site.s_cache with Some c -> c | None -> assert false
 
+(* The DSM directory — per-site mode tables, the site list and the
+   home copy — is one shared object to the explorer: coherence actions
+   on any page order against each other through the directory walk. *)
 let mode (site : site) ~page =
+  Hw.Engine.note_ambient ~write:false (-5) 0;
   Option.value ~default:Invalid (Hashtbl.find_opt site.s_modes page)
 
 let set_mode site ~page m =
+  Hw.Engine.note_ambient (-5) 0;
   if m = Invalid then Hashtbl.remove site.s_modes page
   else Hashtbl.replace site.s_modes page m
 
@@ -57,6 +62,7 @@ let collect t (owner : site) ~page =
 
 (* Demote the current writer (if any, other than [except]) to reader. *)
 let downgrade_writer t ~page ~except =
+  Hw.Engine.note_ambient (-5) 0;
   List.iter
     (fun s ->
       if (not (s == except)) && mode s ~page = Writing then begin
@@ -72,6 +78,7 @@ let downgrade_writer t ~page ~except =
 
 (* Invalidate every other site's copy of the page. *)
 let invalidate_others t ~page ~except =
+  Hw.Engine.note_ambient (-5) 0;
   List.iter
     (fun s ->
       if not (s == except) then begin
@@ -106,6 +113,7 @@ let backing_of t (site : site) =
     Core.Gmi.b_name = Printf.sprintf "dsm-site-%d" site.s_id;
     b_pull_in =
       (fun ~offset ~size ~prot ~fill_up ->
+        Hw.Engine.note_ambient (-5) 0;
         let first = offset / t.page_size
         and last = (offset + size - 1) / t.page_size in
         for page = first to last do
@@ -117,6 +125,7 @@ let backing_of t (site : site) =
         fill_up ~offset (Bytes.sub t.master offset size));
     b_get_write_access =
       (fun ~offset ~size ->
+        Hw.Engine.note_ambient (-5) 0;
         let first = offset / t.page_size
         and last = (offset + size - 1) / t.page_size in
         for page = first to last do
@@ -124,11 +133,13 @@ let backing_of t (site : site) =
         done);
     b_push_out =
       (fun ~offset ~size ~copy_back ->
+        Hw.Engine.note_ambient (-5) 0;
         message t;
         Bytes.blit (copy_back ~offset ~size) 0 t.master offset size);
   }
 
 let attach t pvm =
+  Hw.Engine.note_ambient (-5) 0;
   let site =
     {
       s_id = t.next_site;
@@ -145,6 +156,7 @@ let attach t pvm =
   site
 
 let master_read t ~offset ~len =
+  Hw.Engine.note_ambient ~write:false (-5) 0;
   let first = offset / t.page_size and last = (offset + len - 1) / t.page_size in
   List.iter
     (fun s ->

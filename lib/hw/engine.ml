@@ -13,7 +13,7 @@ type ready_task = { rt_fib : int; rt_seq : int; rt_daemon : bool }
 
 type scheduler = {
   sched_pick : now:Sim_time.t -> ready_task array -> int;
-  sched_step : fib:int -> accesses:(int * int) list -> unit;
+  sched_step : fib:int -> accesses:(int * int * bool) list -> unit;
 }
 
 (* A parked fibre, as seen by the watchdog: what it is blocked on,
@@ -51,7 +51,8 @@ type t = {
   mutable on_event : unit -> unit;
   mutable sched : scheduler option;
   mutable tracking : bool; (* inside a task slice, someone listening *)
-  mutable accesses : (int * int) list; (* slice footprint, reversed *)
+  mutable accesses : (int * int * bool) list;
+      (* slice footprint, reversed; the bool marks a write *)
   names : (int, string) Hashtbl.t;
   waiting : (int, wait_info) Hashtbl.t; (* parked fibres, by id *)
   hearts : (int, Sim_time.t) Hashtbl.t; (* last slice start, by fibre *)
@@ -65,6 +66,7 @@ exception Watchdog of string
 type _ Effect.t +=
   | Sleep : Sim_time.span -> unit Effect.t
   | Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+  | Ambient : t Effect.t
 
 (* Tasks at distinct times run in time order; equal-time tasks run by
    [key], then by [seq] so the order is total.  Under [Fifo] the key
@@ -120,11 +122,11 @@ let set_scheduler eng s = eng.sched <- Some s
 let clear_scheduler eng = eng.sched <- None
 let tracking eng = eng.tracking
 
-let note_access eng a b =
+let note_access ?(write = true) eng a b =
   if eng.tracking then begin
     (* The footprint list feeds [sched_step]; skip the cons when no
        scheduler listens and only the flight ring wants the event. *)
-    if eng.sched <> None then eng.accesses <- (a, b) :: eng.accesses;
+    if eng.sched <> None then eng.accesses <- (a, b, write) :: eng.accesses;
     Obs.Flight.record_access eng.flight ~fib:eng.cur_fib ~a ~b
   end
 
@@ -318,6 +320,22 @@ let sleep span =
 
 let suspend register = Effect.perform (Suspend register)
 
+(* The engine running the current fibre, recovered through the effect
+   handler the fibre executes under — no global state, so nested or
+   interleaved engines each see their own.  [None] outside [run]. *)
+let ambient () =
+  match Effect.perform Ambient with
+  | eng -> Some eng
+  | exception Effect.Unhandled Ambient -> None
+
+let note_ambient ?write a b =
+  match ambient () with Some eng -> note_access ?write eng a b | None -> ()
+
+let declare_wait_ambient ~on ?(owner = -1) () =
+  match ambient () with
+  | Some eng -> declare_wait eng ~on ~owner ()
+  | None -> ()
+
 (* Runs a fibre body under the effect handler.  Deep handlers stay
    installed for the whole fibre, so a continuation resumed later from
    the event queue still sees Sleep/Suspend.  Continuations of a
@@ -340,6 +358,10 @@ let exec eng ~daemon f =
                 eng.pending_wait <- None;
                 schedule eng ~daemon ~fib (eng.now + span) (fun () ->
                     Effect.Deep.continue k ()))
+          | Ambient ->
+            Some
+              (fun (k : (a, _) Effect.Deep.continuation) ->
+                Effect.Deep.continue k eng)
           | Suspend register ->
             Some
               (fun (k : (a, _) Effect.Deep.continuation) ->

@@ -46,11 +46,12 @@ type scheduler = {
           tasks at the minimal queued time, in [rt_seq] order (always
           non-empty; often a singleton).  Must return the index of the
           task to run.  Exceptions propagate out of {!run}. *)
-  sched_step : fib:int -> accesses:(int * int) list -> unit;
+  sched_step : fib:int -> accesses:(int * int * bool) list -> unit;
       (** Called after the chosen task's slice completes (and before
           the event hook), with the fibre that ran and the shared
           objects the slice touched, as recorded by {!note_access}
-          (unordered, may contain duplicates). *)
+          (unordered, may contain duplicates); the [bool] marks a
+          write. *)
 }
 (** An explicit scheduling policy.  The {!tie_break} heap keys are the
     implicit, zero-overhead form of the same choice; {!fifo_scheduler}
@@ -74,7 +75,7 @@ val seeded_scheduler : int -> scheduler
 (** [seeded_scheduler seed] is equivalent to [Seeded seed] through the
     choice-point API. *)
 
-val note_access : t -> int -> int -> unit
+val note_access : ?write:bool -> t -> int -> int -> unit
 (** [note_access eng a b] records that the running task's slice
     touched the shared object identified by [(a, b)] — no-op unless a
     scheduler or an enabled flight recorder is installed and a slice
@@ -82,14 +83,32 @@ val note_access : t -> int -> int -> unit
     and reserves negative first components for object classes (frame
     pool, cache topology); the engine treats the pairs as opaque.
     Footprints feed the model checker's independence relation (two
-    slices commute unless their footprints intersect) and the flight
-    ring's access records. *)
+    slices commute unless their footprints intersect with at least
+    one side writing) and the flight ring's access records.
+    [?write] defaults to [true] — the conservative classification;
+    pass [~write:false] only for accesses that provably do not mutate
+    the object, which lets the checker commute read-read pairs. *)
 
 val tracking : t -> bool
 (** Whether {!note_access} currently records — true only inside a task
     slice while a scheduler or an enabled flight recorder is
     installed.  Lets callers skip the work of computing the object
     identity when nobody is listening. *)
+
+val ambient : unit -> t option
+(** The engine running the current fibre, recovered through the fibre's
+    effect handler — [None] when called outside {!run}.  Lets shared
+    objects that are not threaded with an engine handle (ports, DSM
+    directories, process tables) participate in the footprint and
+    blocked-on disciplines. *)
+
+val note_ambient : ?write:bool -> int -> int -> unit
+(** [note_ambient a b] is {!note_access} against the ambient engine; a
+    no-op outside {!run}. *)
+
+val declare_wait_ambient : on:string -> ?owner:int -> unit -> unit
+(** {!declare_wait} against the ambient engine; a no-op outside
+    {!run}. *)
 
 val now : t -> Sim_time.t
 (** Current simulated time. *)

@@ -1,5 +1,10 @@
 let name = "minimal (eager, real-time)"
 
+(* The eager baseline never attaches a tracer: there are no spans for
+   its charges to land in, and the profiler only reads the real PVM. *)
+[@@@chorus.spanned
+  "the minimal baseline has no tracer; charges feed the cost model only"]
+
 type cache = {
   c_id : int;
   c_backing : Core.Gmi.backing option;

@@ -23,15 +23,20 @@ let create (m : Process.manager) =
   in
   { site; files_store; port; files = Hashtbl.create 32 }
 
+(* The path table is shared by every process fibre of the mix. *)
 let create_file t ~path ?initial () =
+  Hw.Engine.note_ambient (-6) 0;
   let key = Seg.Mem_mapper.create_segment t.files_store ?initial () in
   let size = match initial with Some b -> Bytes.length b | None -> 0 in
   Hashtbl.replace t.files path
     { f_path = path; f_cap = Seg.Capability.make ~port:t.port ~key; f_size = size }
 
-let exists t ~path = Hashtbl.mem t.files path
+let exists t ~path =
+  Hw.Engine.note_ambient ~write:false (-6) 0;
+  Hashtbl.mem t.files path
 
 let find t path =
+  Hw.Engine.note_ambient ~write:false (-6) 0;
   match Hashtbl.find_opt t.files path with
   | Some f -> f
   | None -> raise (No_such_file path)

@@ -15,16 +15,28 @@ let create ?name () =
 
 let name t = t.name
 
+(* Port queues are shared across fibres (and, through remote mappers,
+   across sites): note them as one footprint class, and declare the
+   receive-side wait so an empty-queue block shows up in the watchdog's
+   blocked-on graph rather than as a silent hang. *)
 let send t msg =
+  Hw.Engine.note_ambient (-4) 0;
   Queue.push msg t.queue;
   Hw.Engine.Cond.broadcast t.arrival
 
 let rec receive t =
+  Hw.Engine.note_ambient (-4) 0;
   match Queue.take_opt t.queue with
   | Some msg -> msg
   | None ->
+    Hw.Engine.declare_wait_ambient ~on:("port:" ^ t.name) ();
     Hw.Engine.Cond.wait t.arrival;
     receive t
 
-let poll t = Queue.take_opt t.queue
-let pending t = Queue.length t.queue
+let poll t =
+  Hw.Engine.note_ambient (-4) 0;
+  Queue.take_opt t.queue
+
+let pending t =
+  Hw.Engine.note_ambient ~write:false (-4) 0;
+  Queue.length t.queue

@@ -22,11 +22,16 @@ let create ?(seek_time = 0) ?(transfer_time_per_page = 0) ?(page_size = 8192)
     writes = 0;
   }
 
-let segment_count t = Hashtbl.length t.segments
+(* The backing-store segment table is shared by every fibre whose
+   pullIn/pushOut lands on this mapper. *)
+let segment_count t =
+  Hw.Engine.note_ambient ~write:false (-7) 0;
+  Hashtbl.length t.segments
 let reads t = t.reads
 let writes t = t.writes
 
 let find t key =
+  Hw.Engine.note_ambient ~write:false (-7) 0;
   match Hashtbl.find_opt t.segments key with
   | Some s -> s
   | None -> raise Mapper.Bad_capability
@@ -67,12 +72,15 @@ let truncate t ~key ~size =
 let segment_size t ~key = Bytes.length (find t key).data
 
 let create_segment t ?initial () =
+  Hw.Engine.note_ambient (-7) 0;
   let key = Capability.next_key () in
   let data = match initial with Some b -> Bytes.copy b | None -> Bytes.create 0 in
   Hashtbl.replace t.segments key { data };
   key
 
-let destroy_segment t ~key = Hashtbl.remove t.segments key
+let destroy_segment t ~key =
+  Hw.Engine.note_ambient (-7) 0;
+  Hashtbl.remove t.segments key
 
 let mapper t =
   {

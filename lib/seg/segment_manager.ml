@@ -32,7 +32,10 @@ let mark t name args =
   let tr = Core.Pvm.tracer t.pvm in
   if Obs.Trace.enabled tr then Obs.Trace.instant tr ~cat:"seg" name ~args
 
+(* The port table is shared by every fibre binding or faulting on a
+   capability of this segment manager. *)
 let mapper_of_port t port =
+  Hw.Engine.note_ambient ~write:false (-8) 0;
   match Hashtbl.find_opt t.mappers port with
   | Some m -> m
   | None -> raise Mapper.Bad_capability
@@ -54,6 +57,7 @@ let backing_of t (cap : Capability.t) =
   }
 
 let register_mapper t mapper =
+  Hw.Engine.note_ambient (-8) 0;
   let port = t.next_port in
   t.next_port <- port + 1;
   Hashtbl.replace t.mappers port mapper;

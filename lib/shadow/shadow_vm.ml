@@ -1,3 +1,9 @@
+(* The shadow-object comparison VM never attaches a tracer: its
+   charges feed the cost model only, so there is no span tree for L3
+   to conserve. *)
+[@@@chorus.spanned
+  "the shadow baseline has no tracer; charges feed the cost model only"]
+
 type stats = {
   mutable n_faults : int;
   mutable n_zero_fills : int;

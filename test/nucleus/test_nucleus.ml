@@ -255,6 +255,70 @@ let test_remote_mapper () =
         (Remote_mapper.requests_served server > 0);
       Actor.destroy actor)
 
+(* Cross-library deadlock: one fibre holds the transit segment's only
+   slot (a nucleus resource) and then faults on a fragment whose
+   pullIn is in flight — blocking on the core pager's synchronization
+   stub; the fibre driving that pullIn is itself blocked in
+   Transit.alloc waiting for the slot.  Each library declares only its
+   own blocked-on edge (global_map's "transfer", transit's
+   "transit-slot"); detecting the cycle requires the watchdog to chase
+   the chain across both, which is exactly what the L2 discipline is
+   supposed to buy. *)
+let test_cross_library_deadlock () =
+  let contains ~sub s =
+    let n = String.length sub and l = String.length s in
+    let rec go i =
+      i + n <= l && (String.sub s i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  let engine = Hw.Engine.create () in
+  Hw.Engine.enable_watchdog engine ();
+  let diag = ref None in
+  (try
+     Hw.Engine.run engine (fun () ->
+         let site = Site.create ~frames:64 ~cost:Hw.Cost.free ~engine () in
+         let transit = Transit.create site ~slots:1 () in
+         let pvm = site.Site.pvm in
+         let backing =
+           {
+             Core.Gmi.b_name = "transit-staged";
+             b_pull_in =
+               (fun ~offset ~size:_ ~prot:_ ~fill_up ->
+                 (* stage the incoming page through the transit
+                    segment: parks while the slot pool is empty *)
+                 let slot = Transit.alloc transit in
+                 fill_up ~offset (Bytes.make ps 'T');
+                 Transit.release transit slot);
+             b_get_write_access = (fun ~offset:_ ~size:_ -> ());
+             b_push_out = (fun ~offset:_ ~size:_ ~copy_back:_ -> ());
+           }
+         in
+         let cache = Core.Cache.create pvm ~backing () in
+         let ctx = Core.Context.create pvm in
+         let _region =
+           Core.Region.create pvm ctx ~addr:0 ~size:ps
+             ~prot:Hw.Prot.read_write cache ~offset:0
+         in
+         Hw.Engine.spawn engine ~name:"slot-holder" (fun () ->
+             let _slot = Transit.alloc transit in
+             Hw.Engine.sleep (Hw.Sim_time.ms 2);
+             (* faults on the in-flight fragment: parks on the sync
+                stub, whose owner is the puller *)
+             Core.Pvm.touch pvm ctx ~addr:0 ~access:`Read);
+         Hw.Engine.spawn engine ~name:"puller" (fun () ->
+             Hw.Engine.sleep (Hw.Sim_time.ms 1);
+             Core.Pvm.touch pvm ctx ~addr:0 ~access:`Read));
+     Alcotest.fail "deadlock was not detected"
+   with Hw.Engine.Watchdog d -> diag := Some d);
+  match !diag with
+  | None -> Alcotest.fail "no watchdog diagnostic"
+  | Some d ->
+    Alcotest.(check bool) "diagnostic names the transit edge" true
+      (contains ~sub:"transit-slot" d);
+    Alcotest.(check bool) "diagnostic names the transfer edge" true
+      (contains ~sub:"transfer" d)
+
 let () =
   Alcotest.run "nucleus"
     [
@@ -273,5 +337,7 @@ let () =
           Alcotest.test_case "IPC window reuse" `Quick test_ipc_reuse_window;
           Alcotest.test_case "remote mapper over IPC" `Quick
             test_remote_mapper;
+          Alcotest.test_case "cross-library deadlock detected" `Quick
+            test_cross_library_deadlock;
         ] );
     ]
