@@ -8,15 +8,25 @@
    equal-time fibres — results must not change (CI compares);
    [--flight] attaches an enabled flight recorder to every engine —
    results must not change either (the recorder must never perturb a
-   schedule; CI compares byte-for-byte). *)
+   schedule; CI compares byte-for-byte); [--domains] sets the domain
+   counts the [parallel] sweep visits, and — when given a single
+   count — runs every other section on the domain-parallel engine,
+   whose serial-class determinism contract makes the tables
+   byte-identical to the sequential run (CI compares at 1 domain). *)
 
 let usage () =
   prerr_endline
     "usage: main.exe [--metrics-out FILE] [--tie-seed N] [--flight] \
+     [--domains N,N,...] \
      [all|table5|table6|table7|prelim|derived|primitives|fig3|\
      ablation-chains|ablation-segcache|ablation-pervpage|ablation-ipc|\
-     ablation-dsm|macro|bechamel]";
+     ablation-dsm|macro|bechamel|parallel]";
   exit 2
+
+(* The parallel sweep's domain counts (--domains).  Wall-clock and
+   machine-dependent, so [parallel] is not part of "all": the default
+   run stays deterministic for the byte-comparison jobs. *)
+let domains_list = ref [ 1; 2; 4 ]
 
 let run = function
   | "table5" -> Tables.table5 ()
@@ -33,6 +43,7 @@ let run = function
   | "ablation-dsm" -> Ablations.ablation_dsm ()
   | "macro" -> Macro.macro ()
   | "bechamel" -> Bechamel_suite.benchmark ()
+  | "parallel" -> Parallel.sweep ~domains_list:!domains_list ()
   | "all" ->
     Tables.prelim ();
     Tables.table5 ();
@@ -67,7 +78,22 @@ let () =
     | "--flight" :: rest ->
       Util.flight_on := true;
       parse rest
-    | [ "--metrics-out" ] | [ "--tie-seed" ] -> usage ()
+    | "--domains" :: spec :: rest ->
+      (match
+         List.map int_of_string_opt (String.split_on_char ',' spec)
+       with
+      | ns when ns <> [] && List.for_all (function Some n -> n > 0 | None -> false) ns
+        ->
+        domains_list := List.filter_map Fun.id ns;
+        (* A single count additionally switches every other section
+           onto the parallel engine at that many domains — the CI
+           byte-identity check runs the tables under [--domains 1]. *)
+        (match !domains_list with
+        | [ n ] -> Util.domains := Some n
+        | _ -> ())
+      | _ -> usage ());
+      parse rest
+    | [ "--metrics-out" ] | [ "--tie-seed" ] | [ "--domains" ] -> usage ()
     | cmds -> cmds
   in
   (match parse (List.tl (Array.to_list Sys.argv)) with

@@ -1,0 +1,99 @@
+(* Contended fault-throughput sweep over the domain-parallel engine.
+
+   The workload is Check.Crossval's storm scenario scaled up: many
+   contexts, each demand-zero-faulting a private working set and
+   reading a shared cache, workers in distinct affinity classes so the
+   parallel engine genuinely overlaps them.
+
+   Throughput is reported in SIMULATED time, like every other section
+   of this harness.  The pool models an N-CPU machine: each worker
+   domain carries a simulated CPU clock, so a run's horizon is the
+   list-scheduling makespan of the workload on N CPUs.  The speedup
+   column is therefore fault throughput relative to the 1-domain run —
+   the uniprocessor executing the same contended workload.  The
+   sequential engine is NOT that uniprocessor: as a pure discrete-event
+   simulator it overlaps every runnable fibre's charges (an
+   infinite-CPU idealisation), so its row reports the idealisation
+   ceiling.  Wall-clock is printed alongside as the machine-dependent
+   sanity column.  What is checked hard: the observable digest of
+   every parallel run must equal the sequential digest — the
+   oracle-twin contract holds at benchmark scale too. *)
+
+let workers = 16
+let pages = 256
+let rounds = 2
+
+let run_once ~domains scen =
+  let engine =
+    Hw.Engine.create ~tie_break:!Util.tie_break
+      ?domains:(if domains = 0 then None else Some domains)
+      ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let pvms = Hw.Engine.run_fn engine (fun () -> scen.Check.Crossval.run engine) in
+  let wall = Unix.gettimeofday () -. t0 in
+  let sim = Hw.Engine.now engine in
+  let faults =
+    List.fold_left
+      (fun acc pvm -> acc + (Core.Pvm.stats pvm).Core.Types.n_faults)
+      0 pvms
+  in
+  let digest = String.concat "+" (List.map Core.Inspect.digest pvms) in
+  (faults, sim, wall, digest)
+
+let sweep ?(domains_list = [ 1; 2; 4 ]) () =
+  let scen = Check.Crossval.storm ~workers ~pages ~rounds () in
+  Printf.printf
+    "\nParallel fault throughput (storm: %d workers x %d pages x %d rounds)\n\
+     (simulated time; speedup vs the 1-domain uniprocessor model — the \
+     sequential engine row is the\n\
+     infinite-CPU discrete-event idealisation and the digest oracle; \
+     wall-clock is machine-dependent)\n"
+    workers pages rounds;
+  Printf.printf "%-12s  %10s  %10s  %14s  %8s  %8s  %s\n" "engine" "faults"
+    "sim ms" "faults/sim-s" "speedup" "wall ms" "digest";
+  let seq_faults, seq_sim, seq_wall, seq_digest = run_once ~domains:0 scen in
+  (* The uniprocessor reference is always measured, whether or not the
+     requested sweep includes 1. *)
+  let uni_faults, uni_sim, uni_wall, uni_digest = run_once ~domains:1 scen in
+  let throughput faults sim =
+    float_of_int faults /. Hw.Sim_time.to_ms_float sim *. 1e3
+  in
+  let uni_tp = throughput uni_faults uni_sim in
+  let row label faults sim wall digest_ok =
+    Printf.printf "%-12s  %10d  %10.1f  %14.0f  %7.2fx  %8.1f  %s\n" label
+      faults
+      (Hw.Sim_time.to_ms_float sim)
+      (throughput faults sim)
+      (throughput faults sim /. uni_tp)
+      (wall *. 1e3)
+      (if digest_ok then "ok" else "DIVERGED")
+  in
+  row "sequential" seq_faults seq_sim seq_wall true;
+  let diverged = ref false in
+  let emit domains faults sim wall digest =
+    let ok = String.equal digest seq_digest in
+    if not ok then diverged := true;
+    row (Printf.sprintf "%d domain(s)" domains) faults sim wall ok;
+    Report.add_parallel ~workload:"storm" ~domains ~faults
+      ~sim_ms:(Hw.Sim_time.to_ms_float sim)
+      ~wall_ms:(wall *. 1e3)
+      ~speedup:(throughput faults sim /. uni_tp)
+  in
+  emit 1 uni_faults uni_sim uni_wall uni_digest;
+  List.iter
+    (fun domains ->
+      if domains <> 1 then begin
+        let faults, sim, wall, digest = run_once ~domains scen in
+        emit domains faults sim wall digest
+      end)
+    domains_list;
+  Report.add_parallel ~workload:"storm" ~domains:0 ~faults:seq_faults
+    ~sim_ms:(Hw.Sim_time.to_ms_float seq_sim)
+    ~wall_ms:(seq_wall *. 1e3)
+    ~speedup:(throughput seq_faults seq_sim /. uni_tp);
+  if !diverged then begin
+    Printf.eprintf
+      "bench parallel: a parallel run diverged from the sequential digest\n";
+    exit 1
+  end

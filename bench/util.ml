@@ -13,9 +13,16 @@ let tie_break = ref Hw.Engine.Fifo
    level — CI asserts the bench output stays byte-identical. *)
 let flight_on = ref false
 
+(* Engine selection for every section (--domains with one value): the
+   table scenarios spawn only serial-class fibres, so by the pool's
+   determinism contract their cells must come out byte-identical on
+   the parallel engine at any domain count — CI compares [--domains 1]
+   output against the sequential run. *)
+let domains = ref None
+
 (* Run [f] in a fresh discrete-event engine and return its result. *)
 let in_sim f =
-  let engine = Hw.Engine.create ~tie_break:!tie_break () in
+  let engine = Hw.Engine.create ~tie_break:!tie_break ?domains:!domains () in
   if !flight_on then begin
     let fl = Obs.Flight.create () in
     Obs.Flight.enable fl;

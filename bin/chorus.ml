@@ -10,6 +10,8 @@
      trace SCENARIO     capture a Chrome trace of a scenario
      stats SCENARIO     print the metrics-registry report of a scenario
      check SCENARIO     sanitizer + schedule-perturbation harness
+     crossval           sequential-vs-parallel digest cross-validation
+     bench              parallel fault-throughput microbenchmark
      explore SCENARIO   DPOR schedule exploration
      profile SCENARIO   cost-attribution profile
      replay BUNDLE      deterministically re-execute a crash bundle
@@ -796,6 +798,94 @@ let check scenario seeds every_event bundle_dir =
     exit 1
   end
 
+(* chorus crossval: the oracle-twin gate.  Every scenario runs twice
+   from scratch — once on the cooperative sequential engine, once on
+   the domain-parallel engine — and the concatenated Inspect digests
+   must match byte-for-byte.  The chorus scenarios are serial-class
+   programs (the parallel engine runs them in exact heap order), so
+   any divergence is an engine bug; [storm] additionally spawns
+   genuinely concurrent affinity-classed workers whose final state is
+   deterministic by construction. *)
+let crossval domains =
+  let scens =
+    List.map
+      (fun (name, (body, _)) ->
+        { Check.Crossval.name; run = (fun engine -> body ?register:None engine) })
+      scenarios
+    @ [ Check.Crossval.storm () ]
+  in
+  let outcomes = List.map (Check.Crossval.run_pair ~domains) scens in
+  List.iter
+    (fun o -> Format.printf "%a@." Check.Crossval.pp_outcome o)
+    outcomes;
+  let bad = List.filter (fun o -> not o.Check.Crossval.o_ok) outcomes in
+  if bad = [] then
+    Printf.printf
+      "chorus crossval: OK — %d scenario(s) digest-identical, sequential vs \
+       %d domain(s)\n"
+      (List.length outcomes) domains
+  else begin
+    Printf.eprintf "chorus crossval: %d scenario(s) diverged\n"
+      (List.length bad);
+    exit 1
+  end
+
+(* chorus bench: the contended many-context fault-throughput
+   microbenchmark, standalone.  Runs Crossval's storm on the
+   sequential engine (the digest oracle), on the 1-domain pool (the
+   uniprocessor model — the throughput baseline) and on the requested
+   domain count, and reports faults per simulated second.  The full
+   sweep with wall-clock columns lives in the bench harness
+   (bench/main.exe parallel). *)
+let bench domains workers pages rounds =
+  if domains < 1 then begin
+    Printf.eprintf "chorus bench: --domains must be >= 1\n";
+    exit 2
+  end;
+  let scen = Check.Crossval.storm ~workers ~pages ~rounds () in
+  let run_once d =
+    let engine =
+      Hw.Engine.create ?domains:(if d = 0 then None else Some d) ()
+    in
+    let pvms =
+      Hw.Engine.run_fn engine (fun () -> scen.Check.Crossval.run engine)
+    in
+    let faults =
+      List.fold_left
+        (fun acc pvm -> acc + (Core.Pvm.stats pvm).Core.Types.n_faults)
+        0 pvms
+    in
+    let digest = String.concat "+" (List.map Core.Inspect.digest pvms) in
+    (faults, Hw.Engine.now engine, digest)
+  in
+  Printf.printf
+    "chorus bench: storm %d workers x %d pages x %d rounds, %d domain(s)\n"
+    workers pages rounds domains;
+  let _, _, seq_digest = run_once 0 in
+  let uni_faults, uni_sim, uni_digest = run_once 1 in
+  let faults, sim, digest = run_once domains in
+  let tp f s = float_of_int f /. Hw.Sim_time.to_ms_float s *. 1e3 in
+  Printf.printf "  1 domain : %7d faults in %10.1f sim ms = %8.0f faults/sim-s\n"
+    uni_faults
+    (Hw.Sim_time.to_ms_float uni_sim)
+    (tp uni_faults uni_sim);
+  Printf.printf
+    "  %d domains: %7d faults in %10.1f sim ms = %8.0f faults/sim-s \
+     (%.2fx the uniprocessor)\n"
+    domains faults
+    (Hw.Sim_time.to_ms_float sim)
+    (tp faults sim)
+    (tp faults sim /. tp uni_faults uni_sim);
+  if
+    (not (String.equal digest seq_digest))
+    || not (String.equal uni_digest seq_digest)
+  then begin
+    Printf.eprintf
+      "chorus bench: parallel digest diverged from the sequential oracle\n";
+    exit 1
+  end;
+  Printf.printf "  digests match the sequential oracle\n"
+
 (* chorus explore SCENARIO: systematic schedule exploration with the
    Check.Explore DPOR model checker.  [contend] runs a Model program
    through the full PVM under memory pressure and checks every
@@ -1110,6 +1200,42 @@ let cmds =
                   "additionally run the structural invariant sweep after \
                    every engine event (slow)")
         $ bundle_dir_arg "check");
+    Cmd.v
+      (Cmd.info "crossval"
+         ~doc:
+           "run every scenario on the sequential engine and again on the \
+            domain-parallel engine and require byte-identical observable \
+            digests — the oracle-twin refinement gate for the parallel \
+            run mode (exit 1 on any divergence)")
+      Term.(
+        const crossval
+        $ Arg.(
+            value & opt int 4
+            & info [ "domains" ] ~docv:"N"
+                ~doc:"worker-domain count for the parallel run (>= 1)"));
+    Cmd.v
+      (Cmd.info "bench"
+         ~doc:
+           "run the contended many-context fault storm on the \
+            domain-parallel engine and report fault throughput in \
+            simulated time against the 1-domain uniprocessor model \
+            (digests are checked against the sequential oracle; exit 1 \
+            on divergence)")
+      Term.(
+        const bench
+        $ Arg.(
+            value & opt int 4
+            & info [ "domains" ] ~docv:"N"
+                ~doc:"simulated CPU / worker-domain count (>= 1)")
+        $ Arg.(
+            value & opt int 16
+            & info [ "workers" ] ~docv:"N" ~doc:"faulting contexts")
+        $ Arg.(
+            value & opt int 64
+            & info [ "pages" ] ~docv:"N" ~doc:"pages per context")
+        $ Arg.(
+            value & opt int 2
+            & info [ "rounds" ] ~docv:"N" ~doc:"passes over each working set"));
     Cmd.v
       (Cmd.info "explore"
          ~doc:

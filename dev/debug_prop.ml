@@ -90,7 +90,7 @@ let () =
           (fun (i, cache) ->
             let open Core.Types in
             let stubs =
-              Hashtbl.fold
+              Core.Shard_map.fold
                 (fun (cid, o) e acc ->
                   if cid = cache.c_id then
                     match e with
@@ -140,7 +140,7 @@ let () =
                     cache.c_backed_offs [])
               ^ "|pending:"
               ^ String.concat ","
-                  (Hashtbl.fold
+                  (Core.Shard_map.fold
                      (fun (cid, o) stubs acc ->
                        if cid = cache.c_id then
                          Printf.sprintf "%d(%d stubs,%d live)" (o / ps)

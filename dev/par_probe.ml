@@ -1,0 +1,40 @@
+(* Scratch probe: where does the parallel engine's wall-clock go?
+   Compares a pure-engine workload (sleep-only fibres — isolates the
+   charge path) against the storm PVM workload, sequential vs pool. *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let sleep_only ~domains ~fibres ~charges =
+  let engine =
+    Hw.Engine.create ?domains:(if domains = 0 then None else Some domains) ()
+  in
+  Hw.Engine.run engine (fun () ->
+      for w = 1 to fibres do
+        Hw.Engine.spawn engine ~affinity:(if domains = 0 then 0 else w)
+          (fun () ->
+            for _ = 1 to charges do
+              Hw.Engine.sleep 3
+            done)
+      done)
+
+let storm ~domains =
+  let scen = Check.Crossval.storm ~workers:16 ~pages:256 ~rounds:2 () in
+  let engine =
+    Hw.Engine.create ?domains:(if domains = 0 then None else Some domains) ()
+  in
+  ignore (Hw.Engine.run_fn engine (fun () -> scen.Check.Crossval.run engine))
+
+let () =
+  List.iter
+    (fun d ->
+      let (), t = time (fun () -> sleep_only ~domains:d ~fibres:16 ~charges:100_000) in
+      Printf.printf "sleep-only domains=%d: %.1f ms\n%!" d (t *. 1e3))
+    [ 0; 1; 2; 4 ];
+  List.iter
+    (fun d ->
+      let (), t = time (fun () -> storm ~domains:d) in
+      Printf.printf "storm      domains=%d: %.1f ms\n%!" d (t *. 1e3))
+    [ 0; 1; 2; 4 ]

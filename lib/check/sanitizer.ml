@@ -82,7 +82,7 @@ let run ?(strict = true) (pvm : pvm) : violation list =
     pvm.caches;
 
   (* global map entries *)
-  Hashtbl.iter
+  Core.Shard_map.iter
     (fun ((cid, off) : gkey) entry ->
       match known_cache cid with
       | None -> err "gmap" "entry (%d,%d): unknown cache" cid off
@@ -133,7 +133,7 @@ let run ?(strict = true) (pvm : pvm) : violation list =
             err "gmap" "cache %d: two pages at offset %d" c.c_id p.p_offset;
           Hashtbl.replace offs p.p_offset ()
           [@chorus.impure_ok "sanitizer-local scratch table, not PVM state"];
-          (match Hashtbl.find_opt pvm.gmap (c.c_id, p.p_offset) with
+          (match Core.Shard_map.find_opt pvm.gmap (c.c_id, p.p_offset) with
           | Some (Resident p') when p' == p -> ()
           | Some (Sync_stub _) when not strict -> () (* pushOut in flight *)
           | Some _ ->
@@ -310,7 +310,7 @@ let run ?(strict = true) (pvm : pvm) : violation list =
 
   (* reclaim queue = resident pages, each exactly once *)
   let seen = Hashtbl.create 64 in
-  List.iter
+  Core.Fifo.iter
     (fun (p : page) ->
       if not p.p_alive then
         err "reclaim" "dead page (%d,%d) in the reclaim queue" p.p_cache.c_id
@@ -330,14 +330,14 @@ let run ?(strict = true) (pvm : pvm) : violation list =
     (fun (c : cache) ->
       List.iter
         (fun (p : page) ->
-          if not (List.memq p pvm.reclaim) then
+          if not (Core.Fifo.mem_phys pvm.reclaim p) then
             err "reclaim" "cached page (%d,%d) missing from the reclaim queue"
               c.c_id p.p_offset)
         c.c_pages)
     pvm.caches;
 
   (* pending stub index: structural part *)
-  Hashtbl.iter
+  Core.Shard_map.iter
     (fun ((cid, off) : gkey) stubs ->
       (match known_cache cid with
       | None -> err "stubs" "pending stubs keyed on unknown cache %d" cid
@@ -359,7 +359,7 @@ let run ?(strict = true) (pvm : pvm) : violation list =
 
   if strict then begin
     (* stub threading, both directions *)
-    Hashtbl.iter
+    Core.Shard_map.iter
       (fun ((cid, off) : gkey) entry ->
         match entry with
         | Cow_stub s -> (
@@ -371,7 +371,7 @@ let run ?(strict = true) (pvm : pvm) : violation list =
               err "stubs" "stub (%d,%d): not threaded on source page (%d,%d)"
                 cid off p.p_cache.c_id p.p_offset
           | Src_cache (c, o) -> (
-            match Hashtbl.find_opt pvm.stub_sources (c.c_id, o) with
+            match Core.Shard_map.find_opt pvm.stub_sources (c.c_id, o) with
             | Some stubs when List.memq s stubs -> ()
             | _ ->
               err "stubs" "stub (%d,%d): not pending under source (%d,%d)"
@@ -393,7 +393,7 @@ let run ?(strict = true) (pvm : pvm) : violation list =
                   err "stubs"
                     "stub threaded on page (%d,%d) names another source"
                     c.c_id p.p_offset);
-                match Hashtbl.find_opt pvm.gmap (s.cs_cache.c_id, s.cs_offset)
+                match Core.Shard_map.find_opt pvm.gmap (s.cs_cache.c_id, s.cs_offset)
                 with
                 | Some (Cow_stub s') when s' == s -> ()
                 | _ ->
@@ -404,13 +404,13 @@ let run ?(strict = true) (pvm : pvm) : violation list =
               p.p_cow_stubs)
           c.c_pages)
       pvm.caches;
-    Hashtbl.iter
+    Core.Shard_map.iter
       (fun ((cid, off) : gkey) stubs ->
         ignore cid;
         ignore off;
         List.iter
           (fun (s : cow_stub) ->
-            match Hashtbl.find_opt pvm.gmap (s.cs_cache.c_id, s.cs_offset) with
+            match Core.Shard_map.find_opt pvm.gmap (s.cs_cache.c_id, s.cs_offset) with
             | Some (Cow_stub s') when s' == s -> ()
             | _ ->
               err "stubs"

@@ -41,7 +41,7 @@ let page_offsets pvm ~off ~size =
    its pages, or pending keyed on it)? *)
 let has_stub_readers pvm (cache : cache) =
   List.exists (fun (p : page) -> p.p_cow_stubs <> []) cache.c_pages
-  || (Hashtbl.fold
+  || (Shard_map.fold
         (fun (cid, _) _ acc -> acc || cid = cache.c_id)
         pvm.stub_sources false)
      [@chorus.noted
@@ -92,7 +92,7 @@ and teardown pvm (cache : cache) =
            killed := true;
            Pervpage.kill pvm s
          | _ -> ())
-       (Hashtbl.copy pvm.gmap)
+       (Shard_map.snapshot pvm.gmap)
      [@chorus.noted
        "teardown sweeps every map row for stubs destined to the dying \
         cache; key-set footprints cannot express a whole-table read — see \
@@ -104,7 +104,7 @@ and teardown pvm (cache : cache) =
   (Hashtbl.iter
      (fun (cid, o) _ ->
        if cid = cache.c_id then Pervpage.materialize_pending pvm cache ~off:o)
-     (Hashtbl.copy pvm.stub_sources)
+     (Shard_map.snapshot pvm.stub_sources)
    [@chorus.noted
      "teardown sweeps every pending-stub row keyed on the dying cache; see \
       DESIGN.md §4f"]);
@@ -134,7 +134,8 @@ and teardown pvm (cache : cache) =
   cache.c_alive <- false;
   cache.c_zombie <- false;
   note_structure pvm;
-  pvm.caches <- List.filter (fun c -> not (c == cache)) pvm.caches;
+  with_mm pvm (fun () ->
+      pvm.caches <- List.filter (fun c -> not (c == cache)) pvm.caches);
   detach_unreferenced pvm cache ~parents_before
 
 (* Overlap of fragment [f]'s parent window with [off, off+size) of the
@@ -160,7 +161,7 @@ let range_has_readers pvm (cache : cache) ~off ~size =
   || List.exists
        (fun o ->
          note_frag ~write:false pvm cache ~off:o;
-         Hashtbl.mem pvm.stub_sources (cache.c_id, o))
+         Shard_map.mem pvm.stub_sources (cache.c_id, o))
        (page_offsets pvm ~off ~size)
 
 (* Give the purged range a new hidden identity: a zombie history node
@@ -212,17 +213,17 @@ let split_to_zombie pvm (cache : cache) ~off ~size =
     (fun o ->
       note_frag pvm cache ~off:o;
       note_frag pvm z ~off:o;
-      match Hashtbl.find_opt pvm.stub_sources (cache.c_id, o) with
+      match Shard_map.find_opt pvm.stub_sources (cache.c_id, o) with
       | None -> ()
       | Some stubs ->
-        Hashtbl.remove pvm.stub_sources (cache.c_id, o);
+        Shard_map.remove pvm.stub_sources (cache.c_id, o);
         List.iter
           (fun s ->
             match s.cs_source with
             | Src_cache (c, so) when c == cache -> s.cs_source <- Src_cache (z, so)
             | Src_cache _ | Src_page _ -> ())
           stubs;
-        Hashtbl.replace pvm.stub_sources (z.c_id, o) stubs)
+        Shard_map.replace pvm.stub_sources (z.c_id, o) stubs)
     (page_offsets pvm ~off ~size);
   (* Migrate resident pages (frame reassignment, no copying). *)
   List.iter
@@ -244,9 +245,9 @@ let split_to_zombie pvm (cache : cache) ~off ~size =
             s' :: List.filter (fun x -> not (x == s)) p.p_cow_stubs
         | Src_cache (c, so) -> (
           note_frag pvm c ~off:so;
-          match Hashtbl.find_opt pvm.stub_sources (c.c_id, so) with
+          match Shard_map.find_opt pvm.stub_sources (c.c_id, so) with
           | Some stubs ->
-            Hashtbl.replace pvm.stub_sources (c.c_id, so)
+            Shard_map.replace pvm.stub_sources (c.c_id, so)
               (s' :: List.filter (fun x -> not (x == s)) stubs)
           | None -> ()));
         Global_map.set pvm z ~off:o (Cow_stub s')
@@ -391,7 +392,7 @@ let purge_range pvm (cache : cache) ~off ~size =
         List.exists
           (fun o ->
             note_frag pvm cache ~off:o;
-            Hashtbl.mem pvm.stub_sources (cache.c_id, o))
+            Shard_map.mem pvm.stub_sources (cache.c_id, o))
           offsets
       in
       if found then begin
@@ -696,7 +697,7 @@ let[@chorus.noted
   let marked = Hashtbl.create 32 in
   (* destination cache id -> source caches its live stubs read *)
   let stub_edges = Hashtbl.create 32 in
-  Hashtbl.iter
+  Shard_map.iter
     (fun _ entry ->
       match entry with
       | Cow_stub s when s.cs_alive ->
@@ -730,7 +731,7 @@ let[@chorus.noted
         | Cow_stub s when s.cs_alive && List.memq s.cs_cache dead ->
           Pervpage.kill pvm s
         | _ -> ())
-      (Hashtbl.copy pvm.gmap);
+      (Shard_map.snapshot pvm.gmap);
     Hashtbl.iter
       (fun _ stubs ->
         List.iter
@@ -738,7 +739,7 @@ let[@chorus.noted
             if s.cs_alive && List.memq s.cs_cache dead then
               Pervpage.kill pvm s)
           stubs)
-      (Hashtbl.copy pvm.stub_sources);
+      (Shard_map.snapshot pvm.stub_sources);
     List.iter
       (fun (c : cache) ->
         List.iter
@@ -757,7 +758,8 @@ let[@chorus.noted
         c.c_alive <- false;
         c.c_zombie <- false;
         note_structure pvm;
-        pvm.caches <- List.filter (fun x -> not (x == c)) pvm.caches)
+        with_mm pvm (fun () ->
+            pvm.caches <- List.filter (fun x -> not (x == c)) pvm.caches))
       dead
   end
 
@@ -788,7 +790,7 @@ let is_alive (cache : cache) = cache.c_alive
    dies.  Installed on every PVM instance at creation. *)
 let has_stub_readers pvm (cache : cache) =
   List.exists (fun (p : page) -> p.p_cow_stubs <> []) cache.c_pages
-  || (Hashtbl.fold
+  || (Shard_map.fold
         (fun (cid, _) _ acc -> acc || cid = cache.c_id)
         pvm.stub_sources false)
      [@chorus.noted

@@ -14,7 +14,7 @@ let create pvm =
     }
   in
   note_structure pvm;
-  pvm.contexts <- ctx :: pvm.contexts;
+  with_mm pvm (fun () -> pvm.contexts <- ctx :: pvm.contexts);
   ctx
 
 (* context.switch: set the current user context. *)
@@ -44,7 +44,8 @@ let destroy pvm (ctx : context) =
   List.iter (fun r -> Region.destroy pvm r) ctx.ctx_regions;
   Hw.Mmu.destroy_space ctx.ctx_space;
   note_structure pvm;
-  pvm.contexts <- List.filter (fun c -> not (c == ctx)) pvm.contexts;
+  with_mm pvm (fun () ->
+      pvm.contexts <- List.filter (fun c -> not (c == ctx)) pvm.contexts);
   (match pvm.current with
   | Some c when c == ctx -> pvm.current <- None
   | Some _ | None -> ());

@@ -17,22 +17,37 @@ let[@chorus.hot] [@chorus.spanned
     ~off =
   note_frag ~write:false pvm cache ~off;
   charge pvm Hw.Cost.Map_lookup;
-  Hashtbl.find_opt pvm.gmap (key cache off)
+  Shard_map.find_opt pvm.gmap (key cache off)
 
 (* Lookup without charging the simulated clock, for internal
    bookkeeping that a real implementation would do with direct
    pointers rather than a map probe. *)
 let[@chorus.hot] peek pvm cache ~off =
   note_frag ~write:false pvm cache ~off;
-  Hashtbl.find_opt pvm.gmap (key cache off)
+  Shard_map.find_opt pvm.gmap (key cache off)
 
 let[@chorus.hot] set pvm cache ~off entry =
   note_frag pvm cache ~off;
-  Hashtbl.replace pvm.gmap (key cache off) entry
+  Shard_map.replace pvm.gmap (key cache off) entry
 
 let[@chorus.hot] remove pvm cache ~off =
   note_frag pvm cache ~off;
-  Hashtbl.remove pvm.gmap (key cache off)
+  Shard_map.remove pvm.gmap (key cache off)
+
+(* Probe-and-install under one shard lock: the parallel fresh-fault
+   path uses this to close the window between "no entry here" and
+   "my page is the entry" that two concurrent zero-fill faults on the
+   same fragment would otherwise race through.  Sequentially this is
+   peek+set fused, with the same footprint note. *)
+let[@chorus.hot] try_install pvm cache ~off entry =
+  let installed = Shard_map.add_if_absent pvm.gmap (key cache off) entry in
+  (* a lost race only observed the slot — note it as the read it was,
+     so the explorer's independence relation matches the historical
+     peek-then-set footprint exactly (branched so both [?write]
+     arguments stay static data on this hot path) *)
+  if installed then note_frag ~write:true pvm cache ~off
+  else note_frag ~write:false pvm cache ~off;
+  installed
 
 (* Wait until no synchronization stub covers (cache, off); returns the
    current entry, if any.  Loops because a woken fibre may find a new
@@ -42,7 +57,11 @@ let rec wait_not_in_transit pvm cache ~off =
   | Some (Sync_stub cond) ->
     Hw.Engine.declare_wait pvm.engine ~on:"transfer"
       ~owner:(Hw.Engine.Cond.owner cond) ();
-    Hw.Engine.Cond.wait cond;
+    Atomic.incr pvm.stub_sleeps;
+    (* [await_unfinished] rather than a plain wait: on the parallel
+       engine the transfer may complete between our peek and our park,
+       and the finished flag is what closes that lost-wakeup window. *)
+    Hw.Engine.Cond.await_unfinished cond;
     wait_not_in_transit pvm cache ~off
   | other -> other
 
@@ -67,4 +86,4 @@ let finish_sync_stub pvm cache ~off cond replacement =
   (match replacement with
   | Some entry -> set pvm cache ~off entry
   | None -> remove pvm cache ~off);
-  Hw.Engine.Cond.broadcast cond
+  Hw.Engine.Cond.finish cond

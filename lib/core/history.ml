@@ -223,7 +223,7 @@ let[@chorus.noted
       Hashtbl.replace visited c.c_id ();
       let via_frags = List.exists (fun f -> go f.f_parent) c.c_parents in
       via_frags
-      || Hashtbl.fold
+      || Shard_map.fold
            (fun (cid, _) entry acc ->
              acc
              ||

@@ -24,7 +24,7 @@ let pp_page pvm ppf (p : page) =
     | n -> Printf.sprintf "{%d}" n)
 
 let stub_entries pvm (cache : cache) =
-  Hashtbl.fold
+  Shard_map.fold
     (fun (cid, o) entry acc ->
       if cid = cache.c_id then
         match entry with
@@ -128,7 +128,7 @@ type residency = {
 
 let residency (pvm : pvm) : residency =
   let stub_count (cache : cache) =
-    Hashtbl.fold
+    Shard_map.fold
       (fun (cid, _) entry acc ->
         match entry with
         | Cow_stub _ when cid = cache.c_id -> acc + 1
@@ -165,9 +165,9 @@ let residency (pvm : pvm) : residency =
       |> List.sort compare;
     rs_free_frames = Hw.Phys_mem.free_frames pvm.mem;
     rs_used_frames = frames_held pvm;
-    rs_reclaim_len = List.length pvm.reclaim;
+    rs_reclaim_len = Fifo.length pvm.reclaim;
     rs_sync_in_flight =
-      Hashtbl.fold
+      Shard_map.fold
         (fun _ entry acc ->
           match entry with
           | Sync_stub _ -> acc + 1
@@ -257,7 +257,7 @@ let digest (pvm : pvm) : string =
             (Digest.to_hex
                (Digest.bytes (Hw.Phys_mem.read p.p_frame ~off:0 ~len:ps))))
         (List.sort (fun a b -> compare a.p_offset b.p_offset) c.c_pages);
-      Hashtbl.fold
+      Shard_map.fold
         (fun (cid, o) entry acc ->
           if cid <> c.c_id then acc
           else
@@ -293,7 +293,7 @@ let digest (pvm : pvm) : string =
   add "frames free=%d held=%d reclaim=%d"
     (Hw.Phys_mem.free_frames pvm.mem)
     (frames_held pvm)
-    (List.length pvm.reclaim);
+    (Fifo.length pvm.reclaim);
   Digest.to_hex (Digest.string (Buffer.contents b))
 
 (* --- Full-state JSON (crash bundles) ------------------------------ *)
@@ -339,7 +339,7 @@ let state_json (pvm : pvm) : Obs.Json.t =
                ])
     in
     let stubs =
-      Hashtbl.fold
+      Shard_map.fold
         (fun (cid, o) entry acc ->
           if cid <> c.c_id then acc
           else
@@ -427,7 +427,7 @@ let state_json (pvm : pvm) : Obs.Json.t =
           [
             ("free", num (Hw.Phys_mem.free_frames pvm.mem));
             ("held", num (frames_held pvm));
-            ("reclaim", num (List.length pvm.reclaim));
+            ("reclaim", num (Fifo.length pvm.reclaim));
           ] );
       ("residency", residency_json (residency pvm));
     ]
@@ -437,7 +437,7 @@ let state_json (pvm : pvm) : Obs.Json.t =
 let pages (pvm : pvm) = List.concat_map (fun c -> c.c_pages) pvm.caches
 
 let sync_stubs_in_flight (pvm : pvm) =
-  Hashtbl.fold
+  Shard_map.fold
     (fun _ entry acc ->
       match entry with Sync_stub _ -> acc + 1 | Resident _ | Cow_stub _ -> acc)
     pvm.gmap 0

@@ -42,7 +42,7 @@ let[@chorus.spanned
       c_alive = true;
     }
   in
-  pvm.caches <- cache :: pvm.caches;
+  with_mm pvm (fun () -> pvm.caches <- cache :: pvm.caches);
   cache
 
 (* Thread onto [page] any per-virtual-page stubs that were waiting for
@@ -51,10 +51,10 @@ let[@chorus.spanned
 let rethread_pending_stubs pvm (page : page) =
   note_frag pvm page.p_cache ~off:page.p_offset;
   let k = (page.p_cache.c_id, page.p_offset) in
-  match Hashtbl.find_opt pvm.stub_sources k with
+  match Shard_map.find_opt pvm.stub_sources k with
   | None -> ()
   | Some stubs ->
-    Hashtbl.remove pvm.stub_sources k;
+    Shard_map.remove pvm.stub_sources k;
     let live = List.filter (fun s -> s.cs_alive) stubs in
     List.iter (fun s -> s.cs_source <- Src_page page) live;
     page.p_cow_stubs <- live @ page.p_cow_stubs
@@ -63,9 +63,9 @@ let add_pending_stub pvm ~src_cache ~src_off stub =
   note_frag pvm src_cache ~off:src_off;
   let k = (src_cache.c_id, src_off) in
   let existing =
-    Option.value ~default:[] (Hashtbl.find_opt pvm.stub_sources k)
+    Option.value ~default:[] (Shard_map.find_opt pvm.stub_sources k)
   in
-  Hashtbl.replace pvm.stub_sources k (stub :: existing)
+  Shard_map.replace pvm.stub_sources k (stub :: existing)
 
 (* Memory-pressure counter samples for the trace (and so for the
    profiler's pressure series): emitted wherever the resident set
@@ -75,15 +75,22 @@ let[@chorus.noted
       under the explorer"] note_pressure pvm =
   let tr = Hw.Engine.tracer pvm.engine in
   if Obs.Trace.enabled tr then begin
-    Obs.Trace.counter tr "pvm.reclaim_queue" (List.length pvm.reclaim);
+    Obs.Trace.counter tr "pvm.reclaim_queue" (Fifo.length pvm.reclaim);
     Obs.Trace.counter tr "pvm.free_frames" (Hw.Phys_mem.free_frames pvm.mem)
   end
 
 (* Create a page descriptor around [frame] and make it the resident
-   entry for (cache, off).  The caller must have made sure no resident
-   page or stub occupies that slot (or pass the sync-stub condition to
-   release waiters). *)
-let insert_page pvm (cache : cache) ~off frame ~pulled_prot ~cow_protected =
+   entry for (cache, off).  With [~fresh:false] (the default) the
+   caller must have made sure no resident page or stub occupies that
+   slot (or pass the sync-stub condition to release waiters), and the
+   map entry is overwritten.  With [~fresh:true] the map entry is
+   installed atomically only if the slot is empty — the parallel-safe
+   probe — and a lost race returns [None] with nothing mutated.  The
+   map entry goes in first, then the page/frame bookkeeping under the
+   mm lock: once the entry is visible, concurrent faulters settle on
+   it instead of installing a twin. *)
+let insert_page_entry pvm (cache : cache) ~off frame ~pulled_prot
+    ~cow_protected ~fresh =
   assert (is_page_aligned pvm off);
   assert cache.c_alive;
   note_frames pvm;
@@ -101,13 +108,31 @@ let insert_page pvm (cache : cache) ~off frame ~pulled_prot ~cow_protected =
       p_alive = true;
     }
   in
-  cache.c_pages <- page :: cache.c_pages;
-  Global_map.set pvm cache ~off (Resident page);
-  Pmap.register_page pvm page;
-  pvm.reclaim <- pvm.reclaim @ [ page ];
-  rethread_pending_stubs pvm page;
-  note_pressure pvm;
-  page
+  let installed =
+    if fresh then Global_map.try_install pvm cache ~off (Resident page)
+    else begin
+      Global_map.set pvm cache ~off (Resident page);
+      true
+    end
+  in
+  if not installed then None
+  else begin
+    with_mm pvm (fun () ->
+        cache.c_pages <- page :: cache.c_pages;
+        Pmap.register_page pvm page;
+        Fifo.push pvm.reclaim page);
+    rethread_pending_stubs pvm page;
+    note_pressure pvm;
+    Some page
+  end
+
+let insert_page pvm (cache : cache) ~off frame ~pulled_prot ~cow_protected =
+  match
+    insert_page_entry pvm cache ~off frame ~pulled_prot ~cow_protected
+      ~fresh:false
+  with
+  | Some page -> page
+  | None -> assert false
 
 (* Install [frame] as the resident page for (cache, off) — unless a
    concurrent operation filled the slot while the caller slept inside
@@ -115,20 +140,25 @@ let insert_page pvm (cache : cache) ~off frame ~pulled_prot ~cow_protected =
    reaches its insert through such scheduling points, so the
    destination must be re-probed at insert time; on a lost race the
    frame is returned to the pool and the caller settles on whatever
-   value won (§3.3.3). *)
+   value won (§3.3.3).  The re-probe and the install are fused under
+   one shard lock ([~fresh:true]), so on the parallel engine two
+   same-slot faulters that both pass an earlier peek still serialise
+   here. *)
 let[@chorus.spanned
      "leaf helper: callers are the spanned fault/copy resolution paths"] try_insert_fresh
     pvm (cache : cache) ~off frame ~pulled_prot ~cow_protected =
   if !For_testing.skip_insert_probe then
     Some (insert_page pvm cache ~off frame ~pulled_prot ~cow_protected)
   else
-    match Global_map.peek pvm cache ~off with
+    match
+      insert_page_entry pvm cache ~off frame ~pulled_prot ~cow_protected
+        ~fresh:true
+    with
+    | Some page -> Some page
     | None ->
-      Some (insert_page pvm cache ~off frame ~pulled_prot ~cow_protected)
-    | Some _ ->
       note_frames pvm;
       charge pvm Hw.Cost.Frame_free;
-      Hw.Phys_mem.free pvm.mem frame;
+      with_mm pvm (fun () -> Hw.Phys_mem.free pvm.mem frame);
       None
 
 (* Detach a page from every structure.  Per-virtual-page stubs still
@@ -140,20 +170,21 @@ let[@chorus.spanned
   assert (page.p_alive);
   assert (page.p_cow_stubs = []);
   note_frames pvm;
-  Pmap.unmap_all pvm page;
-  Pmap.unregister_page pvm page;
-  let cache = page.p_cache in
-  cache.c_pages <- List.filter (fun p -> not (p == page)) cache.c_pages;
-  (match Global_map.peek pvm cache ~off:page.p_offset with
-  | Some (Resident p) when p == page ->
-    Global_map.remove pvm cache ~off:page.p_offset
-  | _ -> ());
-  pvm.reclaim <- List.filter (fun p -> not (p == page)) pvm.reclaim;
-  page.p_alive <- false;
-  if free_frame then begin
-    charge pvm Hw.Cost.Frame_free;
-    Hw.Phys_mem.free pvm.mem page.p_frame
-  end;
+  with_mm pvm (fun () ->
+      Pmap.unmap_all pvm page;
+      Pmap.unregister_page pvm page;
+      let cache = page.p_cache in
+      cache.c_pages <- List.filter (fun p -> not (p == page)) cache.c_pages;
+      (match Global_map.peek pvm cache ~off:page.p_offset with
+      | Some (Resident p) when p == page ->
+        Global_map.remove pvm cache ~off:page.p_offset
+      | _ -> ());
+      Fifo.remove_phys pvm.reclaim page;
+      page.p_alive <- false;
+      if free_frame then begin
+        charge pvm Hw.Cost.Frame_free;
+        Hw.Phys_mem.free pvm.mem page.p_frame
+      end);
   note_pressure pvm
 
 (* Move a page descriptor to another (cache, offset) without touching
@@ -165,18 +196,19 @@ let[@chorus.spanned
 let reassign_page pvm ?(preserve = false) (page : page) (dst : cache) ~dst_off
     =
   if not preserve then assert (page.p_cow_stubs = []);
-  Pmap.unmap_all pvm page;
-  let src = page.p_cache in
-  src.c_pages <- List.filter (fun p -> not (p == page)) src.c_pages;
-  (match Global_map.peek pvm src ~off:page.p_offset with
-  | Some (Resident p) when p == page ->
-    Global_map.remove pvm src ~off:page.p_offset
-  | _ -> ());
-  page.p_cache <- dst;
-  page.p_offset <- dst_off;
-  if not preserve then page.p_cow_protected <- false;
-  dst.c_pages <- page :: dst.c_pages;
-  Global_map.set pvm dst ~off:dst_off (Resident page);
+  with_mm pvm (fun () ->
+      Pmap.unmap_all pvm page;
+      let src = page.p_cache in
+      src.c_pages <- List.filter (fun p -> not (p == page)) src.c_pages;
+      (match Global_map.peek pvm src ~off:page.p_offset with
+      | Some (Resident p) when p == page ->
+        Global_map.remove pvm src ~off:page.p_offset
+      | _ -> ());
+      page.p_cache <- dst;
+      page.p_offset <- dst_off;
+      if not preserve then page.p_cow_protected <- false;
+      dst.c_pages <- page :: dst.c_pages;
+      Global_map.set pvm dst ~off:dst_off (Resident page));
   rethread_pending_stubs pvm page;
   if not preserve then
     pvm.stats.n_moved_pages <- pvm.stats.n_moved_pages + 1

@@ -113,11 +113,20 @@ let push_out pvm (page : page) =
         (* back to read-only mappings so the next store re-dirties *)
         Pmap.refresh_prot pvm page)
 
-(* Steal [page]'s frame.  A dirty victim is first saved to its
-   segment; the frame is freed before the (possibly slow) pushOut
-   completes, working from a snapshot, so allocation latency does not
-   include segment I/O twice. *)
-let evict pvm (page : page) =
+(* Steal [page]'s frame, in two halves.  [claim_evict] elects and
+   claims the victim — on the parallel engine it runs under the mm
+   lock, so election and claim are one atomic step against concurrent
+   allocators; [complete_evict] does the (possibly blocking) save and
+   removal OUTSIDE that lock, because a segment pushOut may park the
+   fibre and a parked fibre must not carry a mutex away with it.  A
+   dirty victim is first saved to its segment; the frame is freed
+   before the (possibly slow) pushOut completes, working from a
+   snapshot, so allocation latency does not include segment I/O
+   twice. *)
+let[@chorus.spanned
+     "the only charge here is the evict_claim_late fault-injection knob; \
+      real eviction costs land inside complete_evict's evict span"]
+    claim_evict pvm (page : page) =
   assert (can_evict pvm page);
   pvm.stats.n_evictions <- pvm.stats.n_evictions + 1;
   note_frames pvm;
@@ -133,6 +142,10 @@ let evict pvm (page : page) =
   Hw.Engine.Cond.set_owner cond (Hw.Engine.current_fibre pvm.engine);
   if !For_testing.evict_claim_late then charge pvm Hw.Cost.Stub_insert;
   Global_map.set pvm cache ~off (Sync_stub cond);
+  cond
+
+let complete_evict pvm (page : page) cond =
+  let cache = page.p_cache and off = page.p_offset in
   spanned pvm ~name:"evict"
     ~args:
       [
@@ -171,6 +184,10 @@ let evict pvm (page : page) =
     Global_map.finish_sync_stub pvm cache ~off cond None
   end
 
+let evict pvm (page : page) =
+  let cond = claim_evict pvm page in
+  complete_evict pvm page cond
+
 (* Background page-out: the data-management policy the paper places
    below the GMI can also run asynchronously.  The daemon keeps free
    memory between watermarks so allocations rarely pay for eviction
@@ -183,7 +200,7 @@ let start_daemon pvm ~low_water ~high_water ~period =
         let rec reclaim () =
           note_frames pvm;
           if Hw.Phys_mem.free_frames pvm.mem < high_water then
-            match List.find_opt (can_evict pvm) pvm.reclaim with
+            match Fifo.find_opt (can_evict pvm) pvm.reclaim with
             | Some victim ->
               evict pvm victim;
               reclaim ()
@@ -195,7 +212,7 @@ let start_daemon pvm ~low_water ~high_water ~period =
       loop ())
 
 let transfer_in_flight pvm =
-  (Hashtbl.fold
+  (Shard_map.fold
      (fun _ entry acc ->
        match (acc, entry) with
        | Some _, _ -> acc
@@ -215,27 +232,40 @@ let[@chorus.spanned
      "runs under the spans of every allocation path (fault, copy, \
       history-materialise, pager upcalls)"] rec reclaim_for_frame pvm =
   note_frames pvm;
-  match Hw.Phys_mem.alloc_opt pvm.mem with
-  | Some frame -> frame
-  | None -> (
-    match List.find_opt (can_evict pvm) pvm.reclaim with
-    | Some victim ->
-      evict pvm victim;
-      reclaim_for_frame pvm
-    | None -> (
-      (* Under contention every unwired page can be mid-transfer at
-         once; each such transfer either frees a frame (eviction) or
-         makes its page evictable again when it completes, so this
-         is pressure, not exhaustion: block until one finishes and
-         retry.  (Not a plain yield — the clock only advances once
-         this fibre genuinely sleeps.) *)
-      match transfer_in_flight pvm with
-      | Some cond ->
-        Hw.Engine.declare_wait pvm.engine ~on:"frame"
-          ~owner:(Hw.Engine.Cond.owner cond) ();
-        Hw.Engine.Cond.wait cond;
-        reclaim_for_frame pvm
-      | None -> raise Gmi.No_memory))
+  (* Allocation retry, victim election and the claim are one atomic
+     step under the mm lock on the parallel engine (transparent on the
+     oracle path); the blocking halves — completing an eviction,
+     waiting out a transfer — happen outside it. *)
+  let next =
+    with_mm pvm (fun () ->
+        match Hw.Phys_mem.alloc_opt pvm.mem with
+        | Some frame -> `Frame frame
+        | None -> (
+          match Fifo.find_opt (can_evict pvm) pvm.reclaim with
+          | Some victim -> `Evict (victim, claim_evict pvm victim)
+          | None -> (
+            match transfer_in_flight pvm with
+            | Some cond -> `Wait cond
+            | None -> `Exhausted)))
+  in
+  match next with
+  | `Frame frame -> frame
+  | `Evict (victim, cond) ->
+    complete_evict pvm victim cond;
+    reclaim_for_frame pvm
+  | `Wait cond ->
+    (* Under contention every unwired page can be mid-transfer at
+       once; each such transfer either frees a frame (eviction) or
+       makes its page evictable again when it completes, so this
+       is pressure, not exhaustion: block until one finishes and
+       retry.  (Not a plain yield — the clock only advances once
+       this fibre genuinely sleeps.) *)
+    Hw.Engine.declare_wait pvm.engine ~on:"frame"
+      ~owner:(Hw.Engine.Cond.owner cond) ();
+    Atomic.incr pvm.stub_sleeps;
+    Hw.Engine.Cond.await_unfinished cond;
+    reclaim_for_frame pvm
+  | `Exhausted -> raise Gmi.No_memory
 
 (* Allocate a frame, reclaiming FIFO victims when physical memory is
    exhausted. *)
@@ -244,6 +274,11 @@ let[@chorus.hot] [@chorus.spanned
       history-materialise, pager upcalls)"] alloc_frame pvm =
   note_frames pvm;
   charge pvm Hw.Cost.Frame_alloc;
-  match Hw.Phys_mem.alloc_opt pvm.mem with
+  (* the explicit lock halves: a [with_mm] closure here would be a
+     per-fault allocation, and [alloc_opt] cannot raise *)
+  mm_enter pvm;
+  let frame = Hw.Phys_mem.alloc_opt pvm.mem in
+  mm_exit pvm;
+  match frame with
   | Some frame -> frame
   | None -> reclaim_for_frame pvm

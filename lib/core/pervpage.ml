@@ -63,12 +63,12 @@ let unthread pvm (stub : cow_stub) =
   | Src_cache (c, o) -> (
     note_frag pvm c ~off:o;
     let k = (c.c_id, o) in
-    match Hashtbl.find_opt pvm.stub_sources k with
+    match Shard_map.find_opt pvm.stub_sources k with
     | None -> ()
     | Some stubs -> (
       match List.filter (fun s -> not (s == stub)) stubs with
-      | [] -> Hashtbl.remove pvm.stub_sources k
-      | rest -> Hashtbl.replace pvm.stub_sources k rest))
+      | [] -> Shard_map.remove pvm.stub_sources k
+      | rest -> Shard_map.replace pvm.stub_sources k rest))
 
 let source_cache_of (stub : cow_stub) =
   match stub.cs_source with Src_page p -> p.p_cache | Src_cache (c, _) -> c
@@ -182,7 +182,7 @@ let resolve_write pvm (stub : cow_stub) = materialize pvm stub
 let materialize_pending pvm (cache : cache) ~off =
   note_frag ~write:false pvm cache ~off;
   let k = (cache.c_id, off) in
-  match Hashtbl.find_opt pvm.stub_sources k with
+  match Shard_map.find_opt pvm.stub_sources k with
   | None -> ()
   | Some stubs ->
     List.iter (fun s -> if s.cs_alive then ignore (materialize pvm s)) stubs

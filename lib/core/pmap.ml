@@ -45,6 +45,10 @@ let[@chorus.hot] [@chorus.alloc_ok
       closures run only on the rare replacement path"] [@chorus.spanned
      "runs under the fault span opened by Fault.handle"] enter
     pvm (page : page) (region : region) ~vpn =
+  (* Shared pages collect mappings from many contexts, so on the
+     parallel engine the reverse-map manipulation runs under the mm
+     lock (transparent on the oracle path, like every with_mm). *)
+  with_mm pvm @@ fun () ->
   (* Replacing another page's entry: retire its pmap record so a later
      teardown of that page does not unmap us. *)
   (match Hw.Mmu.query region.r_context.ctx_space ~vpn with
@@ -78,6 +82,7 @@ let drop_mapping (page : page) (region : region) ~vpn =
 let[@chorus.spanned
      "leaf helper: callers are the spanned GMI entry points (setProtection, \
       fault resolution)"] refresh_prot pvm (page : page) =
+  with_mm pvm @@ fun () ->
   List.iter
     (fun ((region : region), vpn) ->
       charge pvm Hw.Cost.Mmu_protect;

@@ -5,22 +5,26 @@ type context = Types.context
 type region = Types.region
 type cache = Types.cache
 
-let create ?(page_size = 8192) ?(cost = Hw.Cost.chorus_sun360) ~frames ~engine
-    () =
+let create ?(page_size = 8192) ?(cost = Hw.Cost.chorus_sun360) ?(shards = 8)
+    ~frames ~engine () =
   let mem = Hw.Phys_mem.create ~page_size ~frames () in
   {
     mem;
     mmu = Hw.Mmu.create ~page_size;
     cost;
     engine;
-    gmap = Hashtbl.create 1024;
-    stub_sources = Hashtbl.create 64;
+    gmap = Shard_map.create ~shards ();
+    stub_sources = Shard_map.create ~shards ();
     page_of_frame = Array.make frames None;
     contexts = [];
     caches = [];
     current = None;
-    next_id = 1;
-    reclaim = [];
+    next_id = Atomic.make 1;
+    reclaim = Fifo.create ();
+    mm_lock = Mutex.create ();
+    mm_owner = Atomic.make (-1);
+    mm_depth = 0;
+    stub_sleeps = Atomic.make 0;
     segment_create_hook = None;
     zombie_reaper = None;
     stats = fresh_stats ();
@@ -41,7 +45,10 @@ let[@chorus.spanned
 (* Publish the legacy stats counters into the registry before handing
    it out, so one report carries everything: the registry subsumes
    [Types.stats] rather than replacing it. *)
-let metrics pvm =
+let[@chorus.noted
+     "read-only reporting snapshot taken between runs, not from engine-task \
+      code: the counters it copies are never part of a slice footprint"]
+    metrics pvm =
   let s = pvm.stats and m = pvm.obs in
   let set name v = Obs.Metrics.set (Obs.Metrics.counter m name) v in
   set "pvm.faults" s.n_faults;
@@ -55,6 +62,20 @@ let metrics pvm =
   set "pvm.stub_resolves" s.n_stub_resolves;
   set "pvm.eager_pages" s.n_eager_pages;
   set "pvm.moved_pages" s.n_moved_pages;
+  (* Sharded-map health: total point probes, how many had to wait for
+     a shard lock (only ever non-zero on the parallel engine), how
+     many fibres parked on sync stubs, and the per-shard occupancy
+     spread as a histogram (one observation per shard). *)
+  set "gmap.shards" (Shard_map.shard_count pvm.gmap);
+  set "gmap.probes" (Shard_map.probes pvm.gmap);
+  set "gmap.lock_waits" (Shard_map.lock_waits pvm.gmap);
+  set "gmap.stub_sources.probes" (Shard_map.probes pvm.stub_sources);
+  set "gmap.stub_sleeps" (Atomic.get pvm.stub_sleeps);
+  let occ = Obs.Metrics.histogram m "gmap.shard_occupancy" in
+  (* a fresh snapshot, not a stream: [metrics] may be called several
+     times per report and must stay idempotent *)
+  Obs.Metrics.clear_histogram occ;
+  Array.iter (fun n -> Obs.Metrics.observe occ n) (Shard_map.occupancy pvm.gmap);
   m
 
 let reset_stats pvm =

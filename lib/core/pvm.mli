@@ -30,13 +30,16 @@ type cache = Types.cache
 val create :
   ?page_size:int ->
   ?cost:Hw.Cost.profile ->
+  ?shards:int ->
   frames:int ->
   engine:Hw.Engine.t ->
   unit ->
   t
 (** [create ~frames ~engine ()] builds a PVM over a pool of [frames]
     page frames.  [page_size] defaults to 8192; [cost] defaults to
-    {!Hw.Cost.chorus_sun360}. *)
+    {!Hw.Cost.chorus_sun360}.  [shards] is the number of independently
+    locked shards of the global map (default 8, minimum 1); it only
+    affects lock granularity on the parallel engine, never results. *)
 
 val engine : t -> Hw.Engine.t
 val memory : t -> Hw.Phys_mem.t

@@ -8,7 +8,11 @@ type region = Pvm.region
 type cache = Pvm.cache
 
 let name = "PVM (demand-paged, deferred copies)"
-let create = Pvm.create
+
+(* The GMI contract does not expose the shard knob; the default shard
+   count stands in for implementations without one. *)
+let create ?page_size ?cost ~frames ~engine () =
+  Pvm.create ?page_size ?cost ~frames ~engine ()
 let page_size = Pvm.page_size
 let context_create = Context.create
 let context_destroy = Context.destroy

@@ -1,0 +1,120 @@
+(* Internal shard bookkeeping is this module's own private state, not
+   a PVM shared object: callers note the fragment footprint at the
+   Global_map level, and the counters below are Atomic by
+   construction. *)
+[@@@chorus.noted "shard-internal state; footprints are noted by callers"]
+
+type key = int * int
+
+type 'v shard = {
+  s_lock : Mutex.t;
+  s_tbl : (key, 'v) Hashtbl.t;
+  s_probes : int Atomic.t;
+  s_lock_waits : int Atomic.t;
+}
+
+type 'v t = { shards : 'v shard array }
+
+let create ?(shards = 8) () =
+  if shards < 1 then invalid_arg "Shard_map.create: shard count < 1";
+  {
+    shards =
+      Array.init shards (fun _ ->
+          {
+            s_lock = Mutex.create ();
+            s_tbl = Hashtbl.create 64;
+            s_probes = Atomic.make 0;
+            s_lock_waits = Atomic.make 0;
+          });
+  }
+
+let shard_count t = Array.length t.shards
+
+(* Mix the cache id and the page index (offsets are page-granular in
+   practice, so dropping the low 12 bits spreads consecutive pages of
+   one cache over all shards).  Fibonacci-style multiply keeps the
+   cheap sequential ids from clustering. *)
+let shard_of t ((cid, off) : key) =
+  let h = ((cid + 1) * 0x9E3779B97F4A7C1) lxor ((off lsr 12) * 0x85EBCA77) in
+  (h land max_int) mod Array.length t.shards
+
+let shard t k = t.shards.(shard_of t k)
+
+(* Locks are taken only inside parallel slices: on the sequential
+   engine and on the parallel coordinator no other domain can hold
+   them (the coordinator barriers on pool quiescence), so skipping the
+   lock is both safe and what keeps the oracle path byte-identical to
+   the seed's single table.  Lock acquisition that would block is
+   counted as a lock wait. *)
+let[@inline] locked s f =
+  if Hw.Engine.in_parallel_slice () then begin
+    if not (Mutex.try_lock s.s_lock) then begin
+      Atomic.incr s.s_lock_waits;
+      Mutex.lock s.s_lock
+    end;
+    match f () with
+    | v ->
+      Mutex.unlock s.s_lock;
+      v
+    | exception e ->
+      Mutex.unlock s.s_lock;
+      raise e
+  end
+  else f ()
+
+let find_opt t k =
+  let s = shard t k in
+  Atomic.incr s.s_probes;
+  locked s (fun () -> Hashtbl.find_opt s.s_tbl k)
+
+let mem t k =
+  let s = shard t k in
+  Atomic.incr s.s_probes;
+  locked s (fun () -> Hashtbl.mem s.s_tbl k)
+
+let replace t k v =
+  let s = shard t k in
+  Atomic.incr s.s_probes;
+  locked s (fun () -> Hashtbl.replace s.s_tbl k v)
+
+let remove t k =
+  let s = shard t k in
+  Atomic.incr s.s_probes;
+  locked s (fun () -> Hashtbl.remove s.s_tbl k)
+
+let add_if_absent t k v =
+  let s = shard t k in
+  Atomic.incr s.s_probes;
+  locked s (fun () ->
+      if Hashtbl.mem s.s_tbl k then false
+      else begin
+        Hashtbl.replace s.s_tbl k v;
+        true
+      end)
+
+let length t =
+  Array.fold_left
+    (fun acc s -> acc + locked s (fun () -> Hashtbl.length s.s_tbl))
+    0 t.shards
+
+let iter f t =
+  Array.iter (fun s -> locked s (fun () -> Hashtbl.iter f s.s_tbl)) t.shards
+
+let fold f t acc =
+  Array.fold_left
+    (fun acc s -> locked s (fun () -> Hashtbl.fold f s.s_tbl acc))
+    acc t.shards
+
+let snapshot t =
+  let out = Hashtbl.create 64 in
+  iter (fun k v -> Hashtbl.replace out k v) t;
+  out
+
+let occupancy t =
+  Array.map (fun s -> locked s (fun () -> Hashtbl.length s.s_tbl)) t.shards
+
+let probes t =
+  Array.fold_left (fun acc s -> acc + Atomic.get s.s_probes) 0 t.shards
+
+let lock_waits t =
+  Array.fold_left (fun acc s -> acc + Atomic.get s.s_lock_waits) 0 t.shards

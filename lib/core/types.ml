@@ -12,9 +12,10 @@ type pvm = {
   mmu : Hw.Mmu.t;
   cost : Hw.Cost.profile;
   engine : Hw.Engine.t;
-  gmap : (gkey, entry) Hashtbl.t;
-      (* the global map: (cache id, page-aligned offset) -> entry *)
-  stub_sources : (gkey, cow_stub list) Hashtbl.t;
+  gmap : entry Shard_map.t;
+      (* the global map: (cache id, page-aligned offset) -> entry,
+         split over N independently locked shards (§4.1 scaled out) *)
+  stub_sources : cow_stub list Shard_map.t;
       (* per-virtual-page stubs whose source page is not resident,
          indexed by source (cache, offset) so that a later pullIn can
          re-thread them onto the incoming page *)
@@ -22,8 +23,17 @@ type pvm = {
   mutable contexts : context list;
   mutable caches : cache list;
   mutable current : context option;
-  mutable next_id : int;
-  mutable reclaim : page list; (* FIFO reclaim queue, oldest last *)
+  next_id : int Atomic.t;
+  reclaim : page Fifo.t; (* FIFO reclaim queue, oldest first *)
+  mm_lock : Mutex.t;
+      (* the memory-management lock: frame pool, reclaim queue, page
+         lists, frame-to-page index and MMU mappings.  Taken (via
+         [with_mm], reentrantly) only inside parallel engine slices;
+         on the oracle path it is never touched *)
+  mm_owner : int Atomic.t; (* domain holding mm_lock, -1 when free *)
+  mutable mm_depth : int; (* reentrancy depth; owner-only *)
+  stub_sleeps : int Atomic.t;
+      (* fibres that parked waiting for a sync stub to resolve *)
   mutable segment_create_hook : (cache -> Gmi.backing option) option;
   mutable zombie_reaper : (cache -> unit) option;
       (* installed by the Cache module: collects a hidden history
@@ -148,10 +158,57 @@ let fresh_stats () =
     n_moved_pages = 0;
   }
 
-let next_id pvm =
-  let id = pvm.next_id in
-  pvm.next_id <- id + 1;
-  id
+let next_id pvm = Atomic.fetch_and_add pvm.next_id 1
+
+(* Run [f] under the memory-management lock — but only inside a
+   parallel engine slice, where another domain may genuinely race us;
+   on the sequential engine and the parallel coordinator this is just
+   [f ()], keeping the oracle path free of locking artefacts.  The
+   lock is reentrant (owner + depth) so compound operations
+   (eviction -> page removal -> frame free) can layer their critical
+   sections without a self-deadlock.  Holders must not park: the
+   domain would carry the mutex away with it.  Lock order is mm_lock
+   before any Shard_map shard lock, never the reverse — shard
+   operations are leaf Hashtbl accesses.  [mm_enter]/[mm_exit] are the
+   explicit halves for hot paths where the closure argument would
+   itself be a per-call allocation; a section written with the halves
+   must not raise between them. *)
+let[@chorus.noted
+     "mm_depth is owner-only bookkeeping guarded by mm_lock itself; it is \
+      never part of a slice's shared footprint"] mm_enter pvm =
+  if Hw.Engine.in_parallel_slice () then begin
+    let me = (Domain.self () :> int) in
+    if Atomic.get pvm.mm_owner = me then pvm.mm_depth <- pvm.mm_depth + 1
+    else begin
+      Mutex.lock pvm.mm_lock;
+      Atomic.set pvm.mm_owner me;
+      pvm.mm_depth <- 1
+    end
+  end
+
+let[@chorus.noted
+     "mm_depth is owner-only bookkeeping guarded by mm_lock itself; it is \
+      never part of a slice's shared footprint"] mm_exit pvm =
+  if Hw.Engine.in_parallel_slice () then begin
+    pvm.mm_depth <- pvm.mm_depth - 1;
+    if pvm.mm_depth = 0 then begin
+      Atomic.set pvm.mm_owner (-1);
+      Mutex.unlock pvm.mm_lock
+    end
+  end
+
+let with_mm pvm f =
+  if not (Hw.Engine.in_parallel_slice ()) then f ()
+  else begin
+    mm_enter pvm;
+    match f () with
+    | v ->
+      mm_exit pvm;
+      v
+    | exception e ->
+      mm_exit pvm;
+      raise e
+  end
 
 let page_size pvm = Hw.Phys_mem.page_size pvm.mem
 

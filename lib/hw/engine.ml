@@ -4,6 +4,7 @@ type task = {
   key : int; (* tie-break rank among equal-time tasks *)
   daemon : bool;
   fib : int;
+  cls : int; (* affinity class; 0 = serial, runs on the coordinator *)
   run : unit -> unit;
 }
 
@@ -37,6 +38,35 @@ type watchdog = {
   mutable wd_last_stall : string option;
 }
 
+(* One affinity class's serialisation lane: tasks of equal (non-zero)
+   affinity execute in FIFO order, at most one at a time, but lanes
+   run concurrently with each other on the domain pool. *)
+type lane = { l_q : task Queue.t; mutable l_busy : bool }
+
+(* Shared state of the parallel run mode.  Every field is protected by
+   [p_lock]; in parallel mode the engine's own mutable fields (seq,
+   live, live_tasks, queue, names, classes) are protected by the same
+   lock, because fibres on worker domains spawn, sleep and resume
+   concurrently with the coordinator. *)
+type par = {
+  p_domains : int;
+  p_lock : Mutex.t;
+  p_work : Condition.t; (* workers: a lane became runnable *)
+  p_idle : Condition.t; (* coordinator: pool state changed *)
+  lanes : (int, lane) Hashtbl.t;
+  runnable : int Queue.t; (* affinity classes with a runnable head *)
+  mutable p_running : int; (* tasks executing on the pool right now *)
+  mutable p_stop : bool;
+  mutable p_exn : exn option; (* first exception raised on the pool *)
+  mutable p_horizon : Sim_time.t; (* max virtual clock seen on the pool *)
+  p_cpu : Sim_time.t array;
+      (* simulated clock of each of the [p_domains] CPUs the pool
+         models.  A slice runs on the least-loaded CPU — greedy list
+         scheduling — so the horizon is the workload's makespan on an
+         N-CPU machine, independent of which OS worker executes which
+         slice.  Protected by [p_lock]. *)
+}
+
 type t = {
   mutable now : Sim_time.t;
   mutable seq : int;
@@ -54,6 +84,8 @@ type t = {
   mutable accesses : (int * int * bool) list;
       (* slice footprint, reversed; the bool marks a write *)
   names : (int, string) Hashtbl.t;
+  classes : (int, int) Hashtbl.t; (* fibre -> affinity, non-zero only *)
+  par : par option; (* None = the cooperative engine (the default) *)
   waiting : (int, wait_info) Hashtbl.t; (* parked fibres, by id *)
   hearts : (int, Sim_time.t) Hashtbl.t; (* last slice start, by fibre *)
   mutable pending_wait : (string * int) option; (* next park's label/owner *)
@@ -67,6 +99,20 @@ type _ Effect.t +=
   | Sleep : Sim_time.span -> unit Effect.t
   | Suspend : ((unit -> unit) -> unit) -> unit Effect.t
   | Ambient : t Effect.t
+
+(* The parallel slice a worker domain is currently executing, if any.
+   A fibre running on the pool advances a private virtual clock
+   ([pt_clock]) instead of scheduling a wake-up per charge — the
+   discrete-event queue only sees it again when it parks or finishes.
+   [None] on the coordinator and in every sequential engine, so
+   [in_parallel_slice] is the cheap "may another domain touch shared
+   state right now?" test the locking seams are gated on. *)
+type ptask = { pt_fib : int; mutable pt_clock : Sim_time.t }
+
+let cur_ptask : ptask option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let in_parallel_slice () = Domain.DLS.get cur_ptask <> None
 
 (* Tasks at distinct times run in time order; equal-time tasks run by
    [key], then by [seq] so the order is total.  Under [Fifo] the key
@@ -83,7 +129,27 @@ let cmp_task a b =
     let c = compare a.key b.key in
     if c <> 0 then c else compare a.seq b.seq
 
-let create ?(tie_break = Fifo) () =
+let create ?(tie_break = Fifo) ?domains () =
+  let par =
+    match domains with
+    | None | Some 0 -> None
+    | Some n when n < 0 -> invalid_arg "Engine.create: negative domain count"
+    | Some n ->
+      Some
+        {
+          p_domains = n;
+          p_lock = Mutex.create ();
+          p_work = Condition.create ();
+          p_idle = Condition.create ();
+          lanes = Hashtbl.create 16;
+          runnable = Queue.create ();
+          p_running = 0;
+          p_stop = false;
+          p_exn = None;
+          p_horizon = Sim_time.zero;
+          p_cpu = Array.make n Sim_time.zero;
+        }
+  in
   {
     now = Sim_time.zero;
     seq = 0;
@@ -100,14 +166,30 @@ let create ?(tie_break = Fifo) () =
     tracking = false;
     accesses = [];
     names = Hashtbl.create 16;
+    classes = Hashtbl.create 16;
+    par;
     waiting = Hashtbl.create 16;
     hearts = Hashtbl.create 16;
     pending_wait = None;
     watch = None;
   }
 
-let now eng = eng.now
-let current_fibre eng = eng.cur_fib
+let domains eng = match eng.par with Some p -> p.p_domains | None -> 0
+
+(* Inside a parallel slice, "now" is the slice's private virtual
+   clock; everywhere else it is the coordinator clock.  This keeps
+   fault-latency arithmetic (now-after minus now-before) meaningful on
+   the pool, where the coordinator clock stands still. *)
+let now eng =
+  match Domain.DLS.get cur_ptask with
+  | Some pt -> pt.pt_clock
+  | None -> eng.now
+
+let current_fibre eng =
+  match Domain.DLS.get cur_ptask with
+  | Some pt -> pt.pt_fib
+  | None -> eng.cur_fib
+
 let tracer eng = eng.tracer
 
 let set_tracer eng tr =
@@ -303,20 +385,65 @@ let seeded_scheduler seed =
     sched_step = (fun ~fib:_ ~accesses:_ -> ());
   }
 
+let tie_key eng seq =
+  match eng.tie with
+  | Fifo -> seq
+  | Seeded seed -> Hashtbl.seeded_hash seed seq
+
+(* Route a freshly scheduled task.  [p_lock] held.  Serial-class tasks
+   go to the discrete-event heap the coordinator drains; an affinity
+   class goes to its lane, which becomes runnable when its head is the
+   only queued task and no worker is already inside the lane. *)
+let enqueue eng p (t : task) =
+  if t.cls = 0 then Pqueue.push eng.queue t
+  else begin
+    let lane =
+      match Hashtbl.find_opt p.lanes t.cls with
+      | Some l -> l
+      | None ->
+        let l = { l_q = Queue.create (); l_busy = false } in
+        Hashtbl.replace p.lanes t.cls l;
+        l
+    in
+    Queue.push t lane.l_q;
+    if (not lane.l_busy) && Queue.length lane.l_q = 1 then begin
+      Queue.push t.cls p.runnable;
+      Condition.signal p.p_work
+    end
+  end;
+  Condition.signal p.p_idle
+
 let schedule eng ~daemon ~fib time run =
-  let seq = eng.seq in
-  eng.seq <- seq + 1;
-  let key =
-    match eng.tie with
-    | Fifo -> seq
-    | Seeded seed -> Hashtbl.seeded_hash seed seq
-  in
-  if not daemon then eng.live_tasks <- eng.live_tasks + 1;
-  Pqueue.push eng.queue { time; seq; key; daemon; fib; run }
+  match eng.par with
+  | None ->
+    let seq = eng.seq in
+    eng.seq <- seq + 1;
+    let key = tie_key eng seq in
+    if not daemon then eng.live_tasks <- eng.live_tasks + 1;
+    Pqueue.push eng.queue { time; seq; key; daemon; fib; cls = 0; run }
+  | Some p ->
+    Mutex.lock p.p_lock;
+    let seq = eng.seq in
+    eng.seq <- seq + 1;
+    let key = tie_key eng seq in
+    if not daemon then eng.live_tasks <- eng.live_tasks + 1;
+    let cls =
+      match Hashtbl.find_opt eng.classes fib with Some c -> c | None -> 0
+    in
+    enqueue eng p { time; seq; key; daemon; fib; cls; run };
+    Mutex.unlock p.p_lock
 
 let sleep span =
   if span < 0 then invalid_arg "Engine.sleep: negative span";
-  Effect.perform (Sleep span)
+  (* Parallel slices coalesce charges into the slice clock; doing it
+     here rather than in the Sleep handler skips the effect round-trip
+     (and its continuation allocation) on the pool's hottest path.
+     [cur_ptask] is never set outside a pool worker, so the sequential
+     engine always performs — the handler's own parallel branch stays
+     for effects performed before the DLS fast path existed. *)
+  match Domain.DLS.get cur_ptask with
+  | Some pt -> pt.pt_clock <- pt.pt_clock + span
+  | None -> Effect.perform (Sleep span)
 
 let suspend register = Effect.perform (Suspend register)
 
@@ -341,9 +468,24 @@ let declare_wait_ambient ~on ?(owner = -1) () =
    the event queue still sees Sleep/Suspend.  Continuations of a
    daemon fibre schedule daemon tasks: the simulation ends when only
    daemon work remains.  Handlers run at perform time, so [cur_fib] is
-   the performing fibre; continuations keep that id. *)
+   the performing fibre; continuations keep that id.
+
+   On the domain pool, Sleep coalesces into the slice's private clock
+   (no heap round-trip per charge) and Suspend parks against a real
+   [Atomic] flag so any domain may resume; both branches are selected
+   by the DLS slice marker at perform time, so one fibre can even
+   migrate between pool and coordinator across park/resume. *)
 let exec eng ~daemon f =
-  let finished () = if not daemon then eng.live <- eng.live - 1 in
+  let finished () =
+    if not daemon then
+      match eng.par with
+      | None -> eng.live <- eng.live - 1
+      | Some p ->
+        Mutex.lock p.p_lock;
+        eng.live <- eng.live - 1;
+        Condition.signal p.p_idle;
+        Mutex.unlock p.p_lock
+  in
   Effect.Deep.match_with f ()
     {
       retc = (fun () -> finished ());
@@ -354,10 +496,19 @@ let exec eng ~daemon f =
           | Sleep span ->
             Some
               (fun (k : (a, _) Effect.Deep.continuation) ->
-                let fib = eng.cur_fib in
-                eng.pending_wait <- None;
-                schedule eng ~daemon ~fib (eng.now + span) (fun () ->
-                    Effect.Deep.continue k ()))
+                match Domain.DLS.get cur_ptask with
+                | Some pt ->
+                  (* Parallel slice: charge virtual time locally and
+                     keep running — the scheduling point is not needed
+                     for fairness (real domains preempt) and skipping
+                     it is what makes the pool fast. *)
+                  pt.pt_clock <- pt.pt_clock + span;
+                  Effect.Deep.continue k ()
+                | None ->
+                  let fib = eng.cur_fib in
+                  eng.pending_wait <- None;
+                  schedule eng ~daemon ~fib (eng.now + span) (fun () ->
+                      Effect.Deep.continue k ()))
           | Ambient ->
             Some
               (fun (k : (a, _) Effect.Deep.continuation) ->
@@ -365,28 +516,82 @@ let exec eng ~daemon f =
           | Suspend register ->
             Some
               (fun (k : (a, _) Effect.Deep.continuation) ->
-                let fib = eng.cur_fib in
-                note_park eng fib;
-                let resumed = ref false in
-                register (fun () ->
-                    if !resumed then invalid_arg "Engine: resume called twice";
-                    resumed := true;
-                    note_unpark eng fib;
-                    schedule eng ~daemon ~fib eng.now (fun () ->
-                        Effect.Deep.continue k ())))
+                match Domain.DLS.get cur_ptask with
+                | Some pt ->
+                  let fib = pt.pt_fib in
+                  let resumed = Atomic.make false in
+                  register (fun () ->
+                      if Atomic.exchange resumed true then
+                        invalid_arg "Engine: resume called twice";
+                      (* Resume at the later of the parked fibre's own
+                         clock and the waker's, so virtual time stays
+                         monotone along every happens-before edge. *)
+                      let time =
+                        match Domain.DLS.get cur_ptask with
+                        | Some w -> max pt.pt_clock w.pt_clock
+                        | None -> max pt.pt_clock eng.now
+                      in
+                      schedule eng ~daemon ~fib time (fun () ->
+                          Effect.Deep.continue k ()))
+                | None ->
+                  let fib = eng.cur_fib in
+                  note_park eng fib;
+                  let resumed = ref false in
+                  register (fun () ->
+                      if !resumed then
+                        invalid_arg "Engine: resume called twice";
+                      resumed := true;
+                      note_unpark eng fib;
+                      schedule eng ~daemon ~fib eng.now (fun () ->
+                          Effect.Deep.continue k ())))
           | _ -> None);
     }
 
-let spawn eng ?name ?(daemon = false) f =
-  if not daemon then eng.live <- eng.live + 1;
-  let fib = eng.next_fib in
-  eng.next_fib <- fib + 1;
-  (match name with
-  | Some n ->
-    Hashtbl.replace eng.names fib n;
-    Obs.Trace.name_fibre eng.tracer fib n
-  | None -> ());
-  schedule eng ~daemon ~fib eng.now (fun () -> exec eng ~daemon f)
+let spawn eng ?name ?(daemon = false) ?(affinity = 0) f =
+  if affinity < 0 then invalid_arg "Engine.spawn: negative affinity";
+  if affinity <> 0 && daemon then
+    invalid_arg "Engine.spawn: daemon fibres must stay in the serial class";
+  match eng.par with
+  | None ->
+    (* The cooperative engine serialises everything; affinity is
+       advisory and ignored, which is exactly what makes it the oracle
+       twin of the parallel mode. *)
+    if not daemon then eng.live <- eng.live + 1;
+    let fib = eng.next_fib in
+    eng.next_fib <- fib + 1;
+    (match name with
+    | Some n ->
+      Hashtbl.replace eng.names fib n;
+      Obs.Trace.name_fibre eng.tracer fib n
+    | None -> ());
+    schedule eng ~daemon ~fib eng.now (fun () -> exec eng ~daemon f)
+  | Some p ->
+    Mutex.lock p.p_lock;
+    if not daemon then eng.live <- eng.live + 1;
+    let fib = eng.next_fib in
+    eng.next_fib <- fib + 1;
+    (match name with Some n -> Hashtbl.replace eng.names fib n | None -> ());
+    if affinity <> 0 then Hashtbl.replace eng.classes fib affinity;
+    let time =
+      match Domain.DLS.get cur_ptask with
+      | Some pt -> pt.pt_clock
+      | None -> eng.now
+    in
+    let seq = eng.seq in
+    eng.seq <- seq + 1;
+    let key = tie_key eng seq in
+    if not daemon then eng.live_tasks <- eng.live_tasks + 1;
+    enqueue eng p
+      {
+        time;
+        seq;
+        key;
+        daemon;
+        fib;
+        cls = affinity;
+        run = (fun () -> exec eng ~daemon f);
+      };
+    Mutex.unlock p.p_lock
 
 (* The implicit pick among equal-time ready tasks, identical to the
    heap order by construction: under Fifo the array is already in key
@@ -406,7 +611,7 @@ let pick_by_tie eng (arr : task array) =
     done;
     !best
 
-let run eng main =
+let run_sequential eng main =
   spawn eng main;
   (* Run while non-daemon work remains — either queued tasks, or
      suspended user fibres that a daemon (server loop, page-out
@@ -491,6 +696,144 @@ let run eng main =
   loop ();
   if eng.live > 0 then raise (Deadlock eng.live)
 
+(* A pool worker: pop a runnable lane, run its head task as a parallel
+   slice, then hand the lane back.  Exceptions from fibre bodies are
+   parked in [p_exn] for the coordinator to re-raise; the worker keeps
+   serving (remaining fibres may hold locks a clean shutdown needs). *)
+let worker eng p =
+  (* Least-loaded simulated CPU (caller holds [p_lock]).  A slice
+     tentatively begins at the later of its fibre's ready time and the
+     least CPU clock; when it completes, its charge interval is placed
+     on the then-least-loaded CPU, shifted forward if that CPU is
+     already busy past the tentative start.  The pool's virtual-time
+     horizon is thus the makespan of greedy list scheduling onto
+     [p_domains] CPUs — charges on distinct CPUs overlap in simulated
+     time, charges on the same CPU serialise — and, crucially, it does
+     not depend on which OS worker executed which slice, so the model
+     is stable under real-time scheduling skew.  (For a fibre that
+     parks mid-charge-train and is resumed by a peer, the wakeup edge
+     carries the pre-shift clock: the approximation under-counts such
+     cross-CPU latency, never the CPU occupancy itself.) *)
+  let pick_cpu () =
+    let best = ref 0 in
+    for i = 1 to Array.length p.p_cpu - 1 do
+      if p.p_cpu.(i) < p.p_cpu.(!best) then best := i
+    done;
+    !best
+  in
+  let rec go () =
+    Mutex.lock p.p_lock;
+    while Queue.is_empty p.runnable && not p.p_stop do
+      Condition.wait p.p_work p.p_lock
+    done;
+    if p.p_stop then Mutex.unlock p.p_lock
+    else begin
+      let aff = Queue.pop p.runnable in
+      let lane = Hashtbl.find p.lanes aff in
+      let task = Queue.pop lane.l_q in
+      lane.l_busy <- true;
+      p.p_running <- p.p_running + 1;
+      if not task.daemon then eng.live_tasks <- eng.live_tasks - 1;
+      let base = max task.time p.p_cpu.(pick_cpu ()) in
+      Mutex.unlock p.p_lock;
+      let pt = { pt_fib = task.fib; pt_clock = base } in
+      Domain.DLS.set cur_ptask (Some pt);
+      (try task.run ()
+       with ex ->
+         Mutex.lock p.p_lock;
+         if p.p_exn = None then p.p_exn <- Some ex;
+         Mutex.unlock p.p_lock);
+      Domain.DLS.set cur_ptask None;
+      Mutex.lock p.p_lock;
+      let cpu = pick_cpu () in
+      let finish = pt.pt_clock + max 0 (p.p_cpu.(cpu) - base) in
+      p.p_cpu.(cpu) <- finish;
+      p.p_running <- p.p_running - 1;
+      if finish > p.p_horizon then p.p_horizon <- finish;
+      lane.l_busy <- false;
+      if not (Queue.is_empty lane.l_q) then begin
+        Queue.push aff p.runnable;
+        Condition.signal p.p_work
+      end;
+      Condition.signal p.p_idle;
+      Mutex.unlock p.p_lock;
+      go ()
+    end
+  in
+  go ()
+
+(* The parallel coordinator.  Serial-class tasks still run here, in
+   exact heap order — but only while the pool is quiescent, so a
+   serial slice never observes a half-done parallel mutation.  This is
+   the determinism contract: a program whose fibres are all
+   serial-class executes the identical schedule the sequential engine
+   would, at any domain count. *)
+let run_parallel eng p main =
+  if eng.sched <> None then
+    invalid_arg "Engine.run: schedulers require the sequential engine";
+  if Obs.Flight.enabled eng.flight then
+    invalid_arg "Engine.run: the flight recorder requires the sequential engine";
+  if eng.watch <> None then
+    invalid_arg "Engine.run: the watchdog requires the sequential engine";
+  spawn eng main;
+  let workers =
+    Array.init p.p_domains (fun _ -> Domain.spawn (fun () -> worker eng p))
+  in
+  let stop_workers () =
+    Mutex.lock p.p_lock;
+    p.p_stop <- true;
+    Condition.broadcast p.p_work;
+    Mutex.unlock p.p_lock;
+    Array.iter Domain.join workers
+  in
+  let pool_busy () = p.p_running > 0 || not (Queue.is_empty p.runnable) in
+  let rec loop () =
+    Mutex.lock p.p_lock;
+    if p.p_exn <> None then Mutex.unlock p.p_lock
+    else begin
+      let more =
+        eng.live_tasks > 0
+        || eng.live > 0
+           && ((not (Pqueue.is_empty eng.queue)) || pool_busy ())
+      in
+      if not more then Mutex.unlock p.p_lock
+      else if Pqueue.is_empty eng.queue then begin
+        (* Only pool work in flight: wait for it to finish, park, or
+           schedule something serial. *)
+        Condition.wait p.p_idle p.p_lock;
+        Mutex.unlock p.p_lock;
+        loop ()
+      end
+      else begin
+        (* A serial task is due: barrier on pool quiescence first. *)
+        while pool_busy () && p.p_exn = None do
+          Condition.wait p.p_idle p.p_lock
+        done;
+        if p.p_exn <> None then (Mutex.unlock p.p_lock; loop ())
+        else begin
+          let task = Pqueue.pop eng.queue in
+          if not task.daemon then eng.live_tasks <- eng.live_tasks - 1;
+          if task.time > eng.now then eng.now <- task.time;
+          eng.cur_fib <- task.fib;
+          Mutex.unlock p.p_lock;
+          task.run ();
+          eng.on_event ();
+          loop ()
+        end
+      end
+    end
+  in
+  (try loop () with ex -> stop_workers (); raise ex);
+  stop_workers ();
+  (match p.p_exn with Some ex -> raise ex | None -> ());
+  if p.p_horizon > eng.now then eng.now <- p.p_horizon;
+  if eng.live > 0 then raise (Deadlock eng.live)
+
+let run eng main =
+  match eng.par with
+  | None -> run_sequential eng main
+  | Some p -> run_parallel eng p main
+
 let run_fn eng f =
   let result = ref None in
   run eng (fun () -> result := Some (f ()));
@@ -498,18 +841,63 @@ let run_fn eng f =
   | Some v -> v
   | None -> assert false
 
+(* Condition variables for fibres, now backed by a real mutex so
+   registration, broadcast and the finished flag are race-free when
+   waiters and wakers live on different domains.  On the sequential
+   engine the mutex is uncontended and the operation sequence is
+   unchanged: [wait]/[await_unfinished] perform exactly one Suspend
+   and [broadcast]/[finish] wake in registration order, so schedules
+   are byte-identical to the historical implementation. *)
 module Cond = struct
-  type t = { mutable parked : (unit -> unit) list; mutable owner : int }
+  type t = {
+    m : Mutex.t;
+    mutable parked : (unit -> unit) list;
+    mutable owner : int;
+    mutable finished : bool;
+  }
 
-  let create () = { parked = []; owner = -1 }
+  let create () =
+    { m = Mutex.create (); parked = []; owner = -1; finished = false }
 
   let wait c =
-    suspend (fun resume -> c.parked <- resume :: c.parked)
+    suspend (fun resume ->
+        Mutex.lock c.m;
+        c.parked <- resume :: c.parked;
+        Mutex.unlock c.m)
 
-  let broadcast c =
+  let drain c =
+    Mutex.lock c.m;
     let resumes = List.rev c.parked in
     c.parked <- [];
+    Mutex.unlock c.m;
     List.iter (fun resume -> resume ()) resumes
+
+  let broadcast c = drain c
+
+  let finish c =
+    Mutex.lock c.m;
+    c.finished <- true;
+    Mutex.unlock c.m;
+    drain c
+
+  let finished c = c.finished
+
+  let await_unfinished c =
+    if not c.finished then
+      suspend (fun resume ->
+          (* Re-check under the mutex inside the registration window:
+             a [finish] racing with this park either sees our resume
+             in [parked] or we see [finished] — the lost-wakeup gap of
+             a plain wait is closed. *)
+          Mutex.lock c.m;
+          if c.finished then begin
+            Mutex.unlock c.m;
+            resume ()
+          end
+          else begin
+            c.parked <- resume :: c.parked;
+            Mutex.unlock c.m
+          end)
 
   let waiters c = List.length c.parked
   let set_owner c fib = c.owner <- fib

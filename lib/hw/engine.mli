@@ -60,7 +60,32 @@ type scheduler = {
     same schedules as their key-based counterparts).  A model checker
     installs its own scheduler to enumerate the choices instead. *)
 
-val create : ?tie_break:tie_break -> unit -> t
+val create : ?tie_break:tie_break -> ?domains:int -> unit -> t
+(** [create ()] is the cooperative single-domain engine — the default,
+    and the reference semantics every checker (DPOR, sanitizer slow
+    mode, flight recorder, watchdog) is defined against.
+
+    [create ~domains:n ()] (n >= 1) adds a pool of [n] worker domains:
+    fibres spawned with a non-zero [affinity] execute there as
+    {e parallel slices}, while serial-class fibres (affinity 0, the
+    default) still run on the coordinator in exact heap order, and
+    only while the pool is quiescent.  Inside a parallel slice,
+    {!sleep} coalesces into a per-slice virtual clock instead of a
+    heap round-trip, and {!suspend}/{!Cond} use real mutexes so any
+    domain may resume a parked fibre.  [~domains:0] is the sequential
+    engine. *)
+
+val domains : t -> int
+(** The worker-pool size this engine was created with; [0] for the
+    cooperative engine. *)
+
+val in_parallel_slice : unit -> bool
+(** Whether the calling code is executing inside a parallel slice on a
+    worker domain — i.e. whether other domains may be touching shared
+    state concurrently {e right now}.  Always [false] on the
+    sequential engine and on the coordinator, which is what lets
+    shared structures take their locks only when the protection is
+    needed and stay byte-identical on the oracle path. *)
 
 val set_scheduler : t -> scheduler -> unit
 (** Route every dispatch through an explicit choice point.  Overrides
@@ -193,11 +218,22 @@ val set_event_hook : t -> (unit -> unit) -> unit
     sweep invariants after every scheduling step; defaults to a
     no-op.  Exceptions raised by the hook propagate out of {!run}. *)
 
-val spawn : t -> ?name:string -> ?daemon:bool -> (unit -> unit) -> unit
+val spawn :
+  t -> ?name:string -> ?daemon:bool -> ?affinity:int -> (unit -> unit) -> unit
 (** [spawn eng f] schedules fibre [f] to start at the current
     simulated time.  Usable both from inside and outside fibres.
     A [daemon] fibre (server loop) is allowed to remain suspended when
-    the simulation drains and does not count towards {!Deadlock}. *)
+    the simulation drains and does not count towards {!Deadlock}.
+
+    [affinity] (default 0) assigns the fibre to an execution class on
+    a parallel engine: class 0 is serial (coordinator, deterministic
+    heap order); fibres of equal non-zero affinity serialise against
+    each other in FIFO lanes, and distinct classes run concurrently on
+    the domain pool.  The sequential engine ignores affinity — that is
+    what makes it the oracle twin.  Daemon fibres must stay in the
+    serial class.
+    @raise Invalid_argument on a negative affinity or a non-serial
+    daemon. *)
 
 val sleep : Sim_time.span -> unit
 (** Advance this fibre's position in simulated time; other runnable
@@ -228,6 +264,23 @@ module Cond : sig
 
   val broadcast : t -> unit
   (** Wakes every fibre currently parked in {!wait}. *)
+
+  val finish : t -> unit
+  (** Mark the condition's one-shot event (a transfer completing, a
+      stub resolving) as having happened, then wake every parked
+      fibre.  After [finish], {!await_unfinished} returns without
+      parking.  On the sequential engine this is exactly
+      {!broadcast}. *)
+
+  val finished : t -> bool
+
+  val await_unfinished : t -> unit
+  (** Park until {!finish} — unless it has already happened, in which
+      case return immediately.  Unlike {!wait}, the finished flag is
+      re-checked under the condition's mutex inside the park's
+      registration window, closing the lost-wakeup race a parallel
+      waker could otherwise hit.  On the sequential engine a waiter
+      that parks behaves exactly like {!wait}. *)
 
   val waiters : t -> int
 

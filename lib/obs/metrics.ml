@@ -70,6 +70,12 @@ let observe h ns =
   if ns < h.h_min then h.h_min <- ns;
   if ns > h.h_max then h.h_max <- ns
 
+let clear_histogram h =
+  h.h_count <- 0;
+  h.h_sum <- 0;
+  h.h_min <- max_int;
+  h.h_max <- 0
+
 let histogram_stats h =
   {
     count = h.h_count;

@@ -42,6 +42,11 @@ val histogram : t -> string -> histogram
 val observe : histogram -> int -> unit
 (** Record one sim-time observation (ns). *)
 
+val clear_histogram : histogram -> unit
+(** Drop a histogram's observations, keeping its registration.  For
+    publishers that re-snapshot a distribution on every report (e.g.
+    shard occupancy) rather than accumulating a stream. *)
+
 type hstats = { count : int; sum : int; min : int; max : int }
 
 val histogram_stats : histogram -> hstats

@@ -61,7 +61,7 @@ let test_catches_gmap_corruption () =
   in_sim (fun engine ->
       let pvm, _ = build engine in
       let page = List.hd (Core.Inspect.pages pvm) in
-      Hashtbl.remove pvm.Core.Types.gmap
+      Core.Shard_map.remove pvm.Core.Types.gmap
         (page.Core.Types.p_cache.Core.Types.c_id, page.Core.Types.p_offset);
       expect_rule pvm "gmap")
 
@@ -85,7 +85,7 @@ let test_catches_mmu_corruption () =
 let test_catches_reclaim_corruption () =
   in_sim (fun engine ->
       let pvm, _ = build engine in
-      pvm.Core.Types.reclaim <- List.tl pvm.Core.Types.reclaim;
+      ignore (Core.Fifo.pop pvm.Core.Types.reclaim);
       expect_rule pvm "reclaim")
 
 (* Corruption 4: mark a mapped cache as a hidden history node. *)
@@ -106,7 +106,7 @@ let test_transit_is_strict_only () =
   in_sim (fun engine ->
       let pvm, _ = build engine in
       let cache = List.hd pvm.Core.Types.caches in
-      Hashtbl.replace pvm.Core.Types.gmap
+      Core.Shard_map.replace pvm.Core.Types.gmap
         (cache.Core.Types.c_id, 512 * ps)
         (Core.Types.Sync_stub (Hw.Engine.Cond.create ()));
       (match Check.Sanitizer.run ~strict:false pvm with
@@ -231,6 +231,32 @@ let test_seeded_schedules_deterministic () =
   in
   Alcotest.(check bool) "some seed permutes the tie" true distinct
 
+(* --- oracle-twin cross-validation -------------------------------- *)
+
+(* The storm workload's final state is a pure function of its
+   parameters, so the parallel engine must reproduce the sequential
+   digest exactly — at any domain count, at any shard count. *)
+let test_crossval_storm_matches () =
+  let scen = Check.Crossval.storm ~workers:4 ~pages:6 ~rounds:2 () in
+  List.iter
+    (fun domains ->
+      let o = Check.Crossval.run_pair ~domains scen in
+      Alcotest.(check bool)
+        (Format.asprintf "%a" Check.Crossval.pp_outcome o)
+        true o.Check.Crossval.o_ok)
+    [ 1; 2; 4 ]
+
+let test_crossval_shards_invisible () =
+  let d1 =
+    Check.Crossval.run_on
+      (Check.Crossval.storm ~workers:3 ~pages:4 ~rounds:2 ~shards:1 ())
+  in
+  let d8 =
+    Check.Crossval.run_on
+      (Check.Crossval.storm ~workers:3 ~pages:4 ~rounds:2 ~shards:8 ())
+  in
+  Alcotest.(check string) "shard count never affects results" d1 d8
+
 let test_event_hook_runs () =
   let engine = Hw.Engine.create () in
   let events = ref 0 in
@@ -276,5 +302,12 @@ let () =
           Alcotest.test_case "seeded schedules deterministic" `Quick
             test_seeded_schedules_deterministic;
           Alcotest.test_case "event hook runs" `Quick test_event_hook_runs;
+        ] );
+      ( "crossval",
+        [
+          Alcotest.test_case "storm digest matches at 1/2/4 domains" `Quick
+            test_crossval_storm_matches;
+          Alcotest.test_case "shard count invisible" `Quick
+            test_crossval_shards_invisible;
         ] );
     ]

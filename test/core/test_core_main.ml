@@ -8,4 +8,5 @@ let () =
       ("edge", Test_edge.tests);
       ("fault-injection", Test_faults_inject.tests);
       ("properties", Test_props.tests);
+      ("shard-map", Test_shard_map.tests);
     ]

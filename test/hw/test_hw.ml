@@ -245,6 +245,109 @@ let prop_engine_deterministic =
       in
       run () = run ())
 
+(* --- parallel engine ------------------------------------------------ *)
+
+(* Distinct affinities run on the domain pool; every slice's work must
+   land, and the coordinator's clock must cover the slowest slice. *)
+let test_parallel_smoke () =
+  let engine = Hw.Engine.create ~domains:2 () in
+  Alcotest.(check int) "pool size" 2 (Hw.Engine.domains engine);
+  let hits = Atomic.make 0 in
+  Hw.Engine.run engine (fun () ->
+      for w = 1 to 4 do
+        Hw.Engine.spawn engine ~affinity:w (fun () ->
+            for _ = 1 to 100 do
+              Hw.Engine.sleep 3;
+              Atomic.incr hits
+            done)
+      done);
+  Alcotest.(check int) "all increments landed" 400 (Atomic.get hits);
+  Alcotest.(check bool)
+    (Printf.sprintf "clock covers the slices (now=%d)" (Hw.Engine.now engine))
+    true
+    (Hw.Engine.now engine >= 300)
+
+(* Equal affinities serialise in FIFO lanes: appends from one class
+   need no lock and arrive in spawn order. *)
+let test_parallel_lane_serialises () =
+  let engine = Hw.Engine.create ~domains:4 () in
+  let order = ref [] in
+  Hw.Engine.run engine (fun () ->
+      for i = 1 to 8 do
+        Hw.Engine.spawn engine ~affinity:7 (fun () ->
+            Hw.Engine.sleep 5;
+            order := i :: !order)
+      done);
+  Alcotest.(check (list int))
+    "one lane, spawn order" [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+    (List.rev !order)
+
+(* Parallel waiters park on a Cond and a serial fibre releases them;
+   await after finish returns immediately. *)
+let test_parallel_cond_finish () =
+  let engine = Hw.Engine.create ~domains:2 () in
+  let cond = Hw.Engine.Cond.create () in
+  let woken = Atomic.make 0 in
+  Hw.Engine.run engine (fun () ->
+      for w = 1 to 3 do
+        Hw.Engine.spawn engine ~affinity:w (fun () ->
+            Hw.Engine.Cond.await_unfinished cond;
+            Atomic.incr woken)
+      done;
+      Hw.Engine.sleep 50;
+      Hw.Engine.Cond.finish cond);
+  Alcotest.(check int) "every waiter woken" 3 (Atomic.get woken);
+  Alcotest.(check bool) "finished" true (Hw.Engine.Cond.finished cond);
+  (* a late waiter must not park *)
+  Hw.Engine.run engine (fun () -> Hw.Engine.Cond.await_unfinished cond)
+
+let test_parallel_spawn_guards () =
+  Alcotest.check_raises "negative domains"
+    (Invalid_argument "Engine.create: negative domain count") (fun () ->
+      ignore (Hw.Engine.create ~domains:(-1) ()));
+  let engine = Hw.Engine.create ~domains:1 () in
+  Hw.Engine.run engine (fun () ->
+      Alcotest.check_raises "negative affinity"
+        (Invalid_argument "Engine.spawn: negative affinity") (fun () ->
+          Hw.Engine.spawn engine ~affinity:(-1) ignore);
+      Alcotest.check_raises "parallel daemon"
+        (Invalid_argument
+           "Engine.spawn: daemon fibres must stay in the serial class")
+        (fun () -> Hw.Engine.spawn engine ~daemon:true ~affinity:2 ignore))
+
+(* A serial-class-only program must run the exact sequential schedule
+   on the parallel engine: the oracle-twin contract for every check
+   scenario. *)
+let test_parallel_class0_identical () =
+  let script domains =
+    let engine =
+      if domains = 0 then Hw.Engine.create ()
+      else Hw.Engine.create ~domains ()
+    in
+    let log = ref [] in
+    Hw.Engine.run engine (fun () ->
+        for i = 1 to 6 do
+          Hw.Engine.spawn engine (fun () ->
+              Hw.Engine.sleep ((i * 7) mod 3);
+              log := (i, Hw.Engine.now engine) :: !log;
+              Hw.Engine.sleep 4;
+              log := (-i, Hw.Engine.now engine) :: !log)
+        done);
+    List.rev !log
+  in
+  let seq = script 0 in
+  Alcotest.(check bool) "1 domain = sequential" true (script 1 = seq);
+  Alcotest.(check bool) "4 domains = sequential" true (script 4 = seq)
+
+(* An exception in a parallel slice propagates out of [run]. *)
+let test_parallel_exception_propagates () =
+  let engine = Hw.Engine.create ~domains:2 () in
+  Alcotest.check_raises "escapes run" (Failure "storm-worker") (fun () ->
+      Hw.Engine.run engine (fun () ->
+          Hw.Engine.spawn engine ~affinity:1 (fun () ->
+              Hw.Engine.sleep 2;
+              failwith "storm-worker")))
+
 (* --- Phys_mem ------------------------------------------------------- *)
 
 let test_phys_mem_alloc_free () =
@@ -341,6 +444,19 @@ let () =
           Alcotest.test_case "exceptions propagate" `Quick
             test_fibre_exception_propagates;
           Alcotest.test_case "run_fn returns" `Quick test_run_fn_returns;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "smoke" `Quick test_parallel_smoke;
+          Alcotest.test_case "lane serialises" `Quick
+            test_parallel_lane_serialises;
+          Alcotest.test_case "cond finish wakes parallel waiters" `Quick
+            test_parallel_cond_finish;
+          Alcotest.test_case "spawn guards" `Quick test_parallel_spawn_guards;
+          Alcotest.test_case "class-0 schedule identical" `Quick
+            test_parallel_class0_identical;
+          Alcotest.test_case "exception propagates" `Quick
+            test_parallel_exception_propagates;
           QCheck_alcotest.to_alcotest prop_engine_deterministic;
         ] );
       ( "phys_mem",
