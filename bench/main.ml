@@ -1,23 +1,26 @@
 (* Benchmark harness regenerating the paper's evaluation (§5.3).
 
    Usage: main.exe [--metrics-out FILE] [--tie-seed N] [--flight]
-                   [SUBCOMMAND...]
+                   [--tracer] [SUBCOMMAND...]
    With no subcommand everything runs (the order follows the paper);
    [--metrics-out] additionally writes the printed table cells as JSON
    (see Report); [--tie-seed] perturbs the engine's scheduling of
    equal-time fibres — results must not change (CI compares);
    [--flight] attaches an enabled flight recorder to every engine —
    results must not change either (the recorder must never perturb a
-   schedule; CI compares byte-for-byte); [--domains] sets the domain
-   counts the [parallel] sweep visits, and — when given a single
-   count — runs every other section on the domain-parallel engine,
-   whose serial-class determinism contract makes the tables
-   byte-identical to the sequential run (CI compares at 1 domain). *)
+   schedule; CI compares byte-for-byte); [--tracer] attaches a real
+   but never-enabled tracer to every engine — disabled tracing must be
+   zero-cost, so results must again be byte-identical (CI compares);
+   [--domains] sets the domain counts the [parallel] sweep visits,
+   and — when given a single count — runs every other section on the
+   domain-parallel engine, whose serial-class determinism contract
+   makes the tables byte-identical to the sequential run (CI compares
+   at 1 domain). *)
 
 let usage () =
   prerr_endline
     "usage: main.exe [--metrics-out FILE] [--tie-seed N] [--flight] \
-     [--domains N,N,...] \
+     [--tracer] [--domains N,N,...] \
      [all|table5|table6|table7|prelim|derived|primitives|fig3|\
      ablation-chains|ablation-segcache|ablation-pervpage|ablation-ipc|\
      ablation-dsm|macro|bechamel|parallel]";
@@ -77,6 +80,9 @@ let () =
       parse rest
     | "--flight" :: rest ->
       Util.flight_on := true;
+      parse rest
+    | "--tracer" :: rest ->
+      Util.tracer_on := true;
       parse rest
     | "--domains" :: spec :: rest ->
       (match

@@ -39,7 +39,7 @@ let run_once ~domains scen =
       0 pvms
   in
   let digest = String.concat "+" (List.map Core.Inspect.digest pvms) in
-  (faults, sim, wall, digest)
+  (faults, sim, wall, digest, Hw.Engine.cpu_busy engine)
 
 let sweep ?(domains_list = [ 1; 2; 4 ]) () =
   let scen = Check.Crossval.storm ~workers ~pages ~rounds () in
@@ -52,10 +52,12 @@ let sweep ?(domains_list = [ 1; 2; 4 ]) () =
     workers pages rounds;
   Printf.printf "%-12s  %10s  %10s  %14s  %8s  %8s  %s\n" "engine" "faults"
     "sim ms" "faults/sim-s" "speedup" "wall ms" "digest";
-  let seq_faults, seq_sim, seq_wall, seq_digest = run_once ~domains:0 scen in
+  let seq_faults, seq_sim, seq_wall, seq_digest, _ = run_once ~domains:0 scen in
   (* The uniprocessor reference is always measured, whether or not the
      requested sweep includes 1. *)
-  let uni_faults, uni_sim, uni_wall, uni_digest = run_once ~domains:1 scen in
+  let uni_faults, uni_sim, uni_wall, uni_digest, uni_busy =
+    run_once ~domains:1 scen
+  in
   let throughput faults sim =
     float_of_int faults /. Hw.Sim_time.to_ms_float sim *. 1e3
   in
@@ -71,23 +73,33 @@ let sweep ?(domains_list = [ 1; 2; 4 ]) () =
   in
   row "sequential" seq_faults seq_sim seq_wall true;
   let diverged = ref false in
-  let emit domains faults sim wall digest =
+  (* Per-CPU utilization of each parallel run against its makespan,
+     printed after the throughput table (collected in sweep order). *)
+  let utilizations = ref [] in
+  let emit domains faults sim wall digest busy =
     let ok = String.equal digest seq_digest in
     if not ok then diverged := true;
     row (Printf.sprintf "%d domain(s)" domains) faults sim wall ok;
+    utilizations := (domains, busy, sim) :: !utilizations;
     Report.add_parallel ~workload:"storm" ~domains ~faults
       ~sim_ms:(Hw.Sim_time.to_ms_float sim)
       ~wall_ms:(wall *. 1e3)
       ~speedup:(throughput faults sim /. uni_tp)
   in
-  emit 1 uni_faults uni_sim uni_wall uni_digest;
+  emit 1 uni_faults uni_sim uni_wall uni_digest uni_busy;
   List.iter
     (fun domains ->
       if domains <> 1 then begin
-        let faults, sim, wall, digest = run_once ~domains scen in
-        emit domains faults sim wall digest
+        let faults, sim, wall, digest, busy = run_once ~domains scen in
+        emit domains faults sim wall digest busy
       end)
     domains_list;
+  List.iter
+    (fun (domains, busy, sim) ->
+      Format.printf "\n%d domain(s):@\n%a" domains
+        (fun ppf () -> Obs.Profile.pp_utilization ppf ~busy ~makespan:sim)
+        ())
+    (List.rev !utilizations);
   Report.add_parallel ~workload:"storm" ~domains:0 ~faults:seq_faults
     ~sim_ms:(Hw.Sim_time.to_ms_float seq_sim)
     ~wall_ms:(seq_wall *. 1e3)

@@ -20,6 +20,12 @@ let flight_on = ref false
    output against the sequential run. *)
 let domains = ref None
 
+(* Zero-cost-when-disabled check (--tracer): when set, every engine
+   carries a real tracer that is never enabled.  Every instrumentation
+   entry point must short-circuit on the enabled check, so CI asserts
+   the bench output stays byte-identical with the tracer attached. *)
+let tracer_on = ref false
+
 (* Run [f] in a fresh discrete-event engine and return its result. *)
 let in_sim f =
   let engine = Hw.Engine.create ~tie_break:!tie_break ?domains:!domains () in
@@ -28,6 +34,7 @@ let in_sim f =
     Obs.Flight.enable fl;
     Hw.Engine.set_flight engine fl
   end;
+  if !tracer_on then Hw.Engine.set_tracer engine (Obs.Trace.create ());
   Hw.Engine.run_fn engine (fun () -> f engine)
 
 (* Simulated time consumed by [f], in nanoseconds. *)

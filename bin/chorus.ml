@@ -295,6 +295,15 @@ let scenario_contend ?(register = fun _ -> ()) engine =
    [contend] is excluded — its racing writers legitimately interleave
    differently per schedule, and only the safety properties (invariant
    sweep, blocking discipline) are schedule-independent. *)
+(* The contended many-context fault workload shared with crossval and
+   the throughput benchmark — the one scenario whose workers carry
+   non-zero affinities, so with --domains it genuinely exercises the
+   pool (the others are serial-class programs). *)
+let scenario_storm ?(register = fun _ -> ()) engine =
+  let pvms = (Check.Crossval.storm ()).Check.Crossval.run engine in
+  List.iter register pvms;
+  pvms
+
 let scenarios =
   [
     ("fig3", (scenario_fig3, true));
@@ -302,6 +311,7 @@ let scenarios =
     ("dsm", (scenario_dsm, true));
     ("ipc", (scenario_ipc, true));
     ("contend", (scenario_contend, false));
+    ("storm", (scenario_storm, true));
   ]
 
 let scenario_entry name =
@@ -336,10 +346,24 @@ let dump_flight ~cmd fl file =
     (Obs.Flight.decision_count fl)
     (Obs.Flight.dropped fl)
 
-let trace scenario out flight_out =
+let check_domains ~cmd = function
+  | Some d when d < 1 ->
+    Printf.eprintf "chorus %s: --domains must be >= 1\n" cmd;
+    exit 2
+  | d -> d
+
+let trace scenario out flight_out domains =
+  let domains = check_domains ~cmd:"trace" domains in
+  if flight_out <> None && domains <> None then begin
+    Printf.eprintf
+      "chorus trace: --flight requires the sequential engine; drop --domains \
+       (the flight recorder logs a serial decision sequence the pool does \
+       not produce)\n";
+    exit 2
+  end;
   let body = scenario_body scenario in
   let tr = Obs.Trace.create () in
-  let engine = Hw.Engine.create () in
+  let engine = Hw.Engine.create ?domains () in
   Hw.Engine.set_tracer engine tr;
   Obs.Trace.enable tr;
   let fl = Option.map (fun _ -> attach_flight engine) flight_out in
@@ -368,9 +392,10 @@ let trace scenario out flight_out =
   | Some file, Some fl -> dump_flight ~cmd:"trace" fl file
   | _ -> ()
 
-let stats scenario json_out =
+let stats scenario json_out domains =
+  let domains = check_domains ~cmd:"stats" domains in
   let body = scenario_body scenario in
-  let engine = Hw.Engine.create () in
+  let engine = Hw.Engine.create ?domains () in
   let tr = Obs.Trace.create () in
   Hw.Engine.set_tracer engine tr;
   Obs.Trace.enable tr;
@@ -812,7 +837,6 @@ let crossval domains =
       (fun (name, (body, _)) ->
         { Check.Crossval.name; run = (fun engine -> body ?register:None engine) })
       scenarios
-    @ [ Check.Crossval.storm () ]
   in
   let outcomes = List.map (Check.Crossval.run_pair ~domains) scens in
   List.iter
@@ -837,11 +861,17 @@ let crossval domains =
    domain count, and reports faults per simulated second.  The full
    sweep with wall-clock columns lives in the bench harness
    (bench/main.exe parallel). *)
-let bench domains workers pages rounds =
+let bench domains workers pages rounds with_stats =
   if domains < 1 then begin
     Printf.eprintf "chorus bench: --domains must be >= 1\n";
     exit 2
   end;
+  (* Wall-clock wait/hold columns of the contention report; counts are
+     maintained regardless.  Timing never touches the simulated clock,
+     so the digest checks below are unaffected. *)
+  if with_stats then
+    Obs.Lockstat.enable_timing ~clock:(fun () ->
+        int_of_float (Unix.gettimeofday () *. 1e9));
   let scen = Check.Crossval.storm ~workers ~pages ~rounds () in
   let run_once d =
     let engine =
@@ -856,14 +886,14 @@ let bench domains workers pages rounds =
         0 pvms
     in
     let digest = String.concat "+" (List.map Core.Inspect.digest pvms) in
-    (faults, Hw.Engine.now engine, digest)
+    (faults, Hw.Engine.now engine, digest, engine, pvms)
   in
   Printf.printf
     "chorus bench: storm %d workers x %d pages x %d rounds, %d domain(s)\n"
     workers pages rounds domains;
-  let _, _, seq_digest = run_once 0 in
-  let uni_faults, uni_sim, uni_digest = run_once 1 in
-  let faults, sim, digest = run_once domains in
+  let _, _, seq_digest, _, _ = run_once 0 in
+  let uni_faults, uni_sim, uni_digest, _, _ = run_once 1 in
+  let faults, sim, digest, engine, pvms = run_once domains in
   let tp f s = float_of_int f /. Hw.Sim_time.to_ms_float s *. 1e3 in
   Printf.printf "  1 domain : %7d faults in %10.1f sim ms = %8.0f faults/sim-s\n"
     uni_faults
@@ -876,6 +906,33 @@ let bench domains workers pages rounds =
     (Hw.Sim_time.to_ms_float sim)
     (tp faults sim)
     (tp faults sim /. tp uni_faults uni_sim);
+  if with_stats then begin
+    let makespan = Hw.Engine.now engine in
+    Format.printf "@.%a@."
+      (fun ppf () ->
+        Obs.Profile.pp_utilization ppf ~busy:(Hw.Engine.cpu_busy engine)
+          ~makespan)
+      ();
+    let snaps =
+      Hw.Engine.pool_lock_stats engine
+      @ List.concat_map Core.Pvm.lock_stats pvms
+    in
+    Format.printf "%a@." Obs.Profile.pp_contention
+      (Obs.Profile.contention snaps);
+    (* Hot-shard attribution: the summed gmap counters hide skew. *)
+    List.iter
+      (fun pvm ->
+        let gm = pvm.Core.Types.gmap in
+        let probes = Core.Shard_map.probes_per_shard gm in
+        let waits = Core.Shard_map.lock_waits_per_shard gm in
+        Format.printf "@[<v>gmap shards (probes / lock waits):@,";
+        Array.iteri
+          (fun i p ->
+            Format.printf "  shard%-3d %10d %10d@," i p waits.(i))
+          probes;
+        Format.printf "@]@.")
+      pvms
+  end;
   if
     (not (String.equal digest seq_digest))
     || not (String.equal uni_digest seq_digest)
@@ -1175,7 +1232,15 @@ let cmds =
             & opt (some string) None
             & info [ "o"; "output" ] ~docv:"FILE"
                 ~doc:"write the trace to $(docv) instead of stdout")
-        $ flight_arg "trace");
+        $ flight_arg "trace"
+        $ Arg.(
+            value
+            & opt (some int) None
+            & info [ "domains" ] ~docv:"N"
+                ~doc:
+                  "run on the domain-parallel engine with $(docv) worker \
+                   domains; the merged trace carries one track per \
+                   simulated CPU (incompatible with --flight)"));
     Cmd.v
       (Cmd.info "check"
          ~doc:
@@ -1235,7 +1300,17 @@ let cmds =
             & info [ "pages" ] ~docv:"N" ~doc:"pages per context")
         $ Arg.(
             value & opt int 2
-            & info [ "rounds" ] ~docv:"N" ~doc:"passes over each working set"));
+            & info [ "rounds" ] ~docv:"N" ~doc:"passes over each working set")
+        $ Arg.(
+            value & flag
+            & info [ "stats" ]
+                ~doc:
+                  "after the parallel run, print the per-CPU utilization \
+                   table (busy/idle per simulated CPU against the \
+                   makespan, parallel efficiency), the lock-contention \
+                   tree (engine pool, per-PVM mm, per-shard gmap, with \
+                   wall-clock wait/hold times) and the per-shard hot-shard \
+                   attribution"));
     Cmd.v
       (Cmd.info "explore"
          ~doc:
@@ -1309,7 +1384,16 @@ let cmds =
             & info [ "json" ] ~docv:"FILE"
                 ~doc:
                   "additionally write the report as machine-readable JSON \
-                   (schema chorus-stats/1) to $(docv)"));
+                   (schema chorus-stats/1) to $(docv)")
+        $ Arg.(
+            value
+            & opt (some int) None
+            & info [ "domains" ] ~docv:"N"
+                ~doc:
+                  "run on the domain-parallel engine with $(docv) worker \
+                   domains; counters and histograms aggregate across \
+                   domains, and per-CPU busy/idle counters appear under \
+                   engine.cpuN.*"));
     Cmd.v
       (Cmd.info "profile"
          ~doc:

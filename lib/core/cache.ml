@@ -447,7 +447,7 @@ let[@chorus.spanned "runs under the copy/move span of its callers"] eager_copy
           | `Zero ->
             Bytes.fill dp.p_frame.Hw.Phys_mem.bytes (d - d_page) chunk '\000');
       charge_span pvm Hw.Cost.Bcopy_page (pvm.cost.t_bcopy_page * chunk / ps);
-      pvm.stats.n_eager_pages <- pvm.stats.n_eager_pages + 1;
+      bump pvm.stats.sc_eager_pages;
       go (copied + chunk)
     end
   in
@@ -551,7 +551,7 @@ let move pvm ~(src : cache) ~src_off ~(dst : cache) ~dst_off ~size () =
             s.cs_offset <- d_off;
             charge pvm Hw.Cost.Stub_insert;
             Global_map.set pvm dst ~off:d_off (Cow_stub s);
-            pvm.stats.n_moved_pages <- pvm.stats.n_moved_pages + 1
+            bump pvm.stats.sc_moved_pages
           | Some _ | None -> (
             (* Data not movable by reassignment: transfer its value and
                leave the source undefined (it keeps its old page, which
@@ -562,7 +562,7 @@ let move pvm ~(src : cache) ~src_off ~(dst : cache) ~dst_off ~size () =
                   let dp = Fault.own_writable_page pvm dst ~off:d_off in
                   charge pvm Hw.Cost.Bcopy_page;
                   Hw.Phys_mem.bcopy ~src:sp.p_frame ~dst:dp.p_frame);
-              pvm.stats.n_eager_pages <- pvm.stats.n_eager_pages + 1
+              bump pvm.stats.sc_eager_pages
             | `Zero -> ()))
         (page_offsets pvm ~off:src_off ~size)
     end
@@ -779,7 +779,7 @@ let destroy pvm (cache : cache) =
   end;
   sweep_zombies pvm
 
-let stats_of pvm = pvm.stats
+let stats_of pvm = snapshot_stats pvm.stats
 let mapping_count (cache : cache) =
   note_structure ~write:false cache.c_pvm;
   List.length cache.c_mappings

@@ -32,11 +32,11 @@ let[@chorus.spanned
     | Some (sf : Hw.Phys_mem.frame) ->
       charge pvm Hw.Cost.Bcopy_page;
       Hw.Phys_mem.bcopy ~src:sf ~dst:frame;
-      pvm.stats.n_cow_copies <- pvm.stats.n_cow_copies + 1
+      bump pvm.stats.sc_cow_copies
     | None ->
       charge pvm Hw.Cost.Bzero_page;
       Hw.Phys_mem.bzero frame;
-      pvm.stats.n_zero_fills <- pvm.stats.n_zero_fills + 1);
+      bump pvm.stats.sc_zero_fills);
     match
       Install.try_insert_fresh pvm cache ~off frame ~pulled_prot:Hw.Prot.all
         ~cow_protected:false
@@ -153,15 +153,29 @@ let resolution_name : resolution -> string = function
   | `Stub_resolve -> "stub-resolve"
   | `Borrow -> "borrow"
 
-(* Static strings: the per-fault histogram update must not allocate. *)
-let hist_name : resolution -> string = function
-  | `Hit -> "fault.hit"
-  | `Upgrade -> "fault.upgrade"
-  | `Zero_fill -> "fault.zero-fill"
-  | `Pull_in -> "fault.pull-in"
-  | `Cow_copy -> "fault.cow-copy"
-  | `Stub_resolve -> "fault.stub-resolve"
-  | `Borrow -> "fault.borrow"
+(* Indexes into [pvm.fault_hist], the histogram handles pre-registered
+   at PVM creation ([hist_names] order): the per-fault update is a
+   direct Atomic bump with no registry lookup, so concurrent faults on
+   distinct domains never touch the registry mutex. *)
+let hist_index : resolution -> int = function
+  | `Hit -> 0
+  | `Upgrade -> 1
+  | `Zero_fill -> 2
+  | `Pull_in -> 3
+  | `Cow_copy -> 4
+  | `Stub_resolve -> 5
+  | `Borrow -> 6
+
+let hist_names =
+  [|
+    "fault.hit";
+    "fault.upgrade";
+    "fault.zero-fill";
+    "fault.pull-in";
+    "fault.cow-copy";
+    "fault.stub-resolve";
+    "fault.borrow";
+  |]
 
 (* Resolve a fault against (region, cache, off), install the MMU
    mapping at [vpn], and report which resolution was taken. *)
@@ -266,7 +280,7 @@ let access_name = function
 
 let handle pvm (ctx : context) ~addr ~(access : Hw.Mmu.access) =
   check_context_alive ctx;
-  pvm.stats.n_faults <- pvm.stats.n_faults + 1;
+  bump pvm.stats.sc_faults;
   let tr = Hw.Engine.tracer pvm.engine in
   let traced = Obs.Trace.enabled tr in
   if traced then Obs.Trace.span_begin tr ~cat:"vm" "fault";
@@ -297,7 +311,7 @@ let handle pvm (ctx : context) ~addr ~(access : Hw.Mmu.access) =
   with
   | kind ->
     Obs.Metrics.observe
-      (Obs.Metrics.histogram pvm.obs (hist_name kind))
+      pvm.fault_hist.(hist_index kind)
       (Hw.Engine.now pvm.engine - t0);
     if traced then
       Obs.Trace.span_end tr

@@ -40,6 +40,14 @@ type resolution =
 val resolution_name : resolution -> string
 (** Stable display name ("zero-fill", "pull-in", "cow-copy", ...). *)
 
+val hist_index : resolution -> int
+(** Index of a resolution's latency histogram in [pvm.fault_hist] —
+    the handles are pre-registered at PVM creation so the per-fault
+    update needs no registry lookup (domain-safe by construction). *)
+
+val hist_names : string array
+(** Histogram names in [hist_index] order ("fault.hit", ...). *)
+
 val resolve :
   Types.pvm ->
   Types.region ->

@@ -89,7 +89,7 @@ let store_original pvm ~(src_page : page) ~(h : cache) ~h_off =
   with
   | Some page ->
     page.p_dirty <- true;
-    pvm.stats.n_cow_copies <- pvm.stats.n_cow_copies + 1
+    bump pvm.stats.sc_cow_copies
   | None -> ()
 
 (* Resolve a write violation on a read-protected page of a copy
@@ -123,7 +123,7 @@ let insert_working_cache pvm (src : cache) =
       f_policy = `Copy_on_write;
     };
   src.c_history <- Some w;
-  pvm.stats.n_history_created <- pvm.stats.n_history_created + 1;
+  bump pvm.stats.sc_history_created;
   let tr = Hw.Engine.tracer pvm.engine in
   if Obs.Trace.enabled tr then
     Obs.Trace.instant tr ~cat:"vm" "history-create"

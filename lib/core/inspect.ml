@@ -74,7 +74,7 @@ let pp_state ppf (pvm : pvm) =
     (fun c -> Format.fprintf ppf "%a@," pp_cache c)
     (List.sort (fun a b -> compare a.c_id b.c_id) pvm.caches);
   Format.fprintf ppf "%a@,%a@]" Hw.Phys_mem.pp_stats pvm.mem pp_stats
-    pvm.stats
+    (snapshot_stats pvm.stats)
 
 let pp_context ppf (ctx : context) =
   let pvm = ctx.ctx_pvm in

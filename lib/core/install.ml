@@ -211,4 +211,4 @@ let reassign_page pvm ?(preserve = false) (page : page) (dst : cache) ~dst_off
       Global_map.set pvm dst ~off:dst_off (Resident page));
   rethread_pending_stubs pvm page;
   if not preserve then
-    pvm.stats.n_moved_pages <- pvm.stats.n_moved_pages + 1
+    bump pvm.stats.sc_moved_pages

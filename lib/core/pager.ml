@@ -77,7 +77,7 @@ let retarget_stubs pvm (page : page) =
    sleeps. *)
 let push_out pvm (page : page) =
   let cache = page.p_cache and off = page.p_offset in
-  pvm.stats.n_push_outs <- pvm.stats.n_push_outs + 1;
+  bump pvm.stats.sc_push_outs;
   (* Claim the fragment before the first scheduling point: the
      segmentCreate upcall below may charge or block, and until the
      synchronization stub is in the map a concurrent allocator could
@@ -128,7 +128,7 @@ let[@chorus.spanned
       real eviction costs land inside complete_evict's evict span"]
     claim_evict pvm (page : page) =
   assert (can_evict pvm page);
-  pvm.stats.n_evictions <- pvm.stats.n_evictions + 1;
+  bump pvm.stats.sc_evictions;
   note_frames pvm;
   retarget_stubs pvm page;
   let cache = page.p_cache and off = page.p_offset in
@@ -161,7 +161,7 @@ let complete_evict pvm (page : page) cond =
         (Some (Resident page));
       invalid_arg "Pager.evict: dirty page with no backing"
     | Some backing ->
-      pvm.stats.n_push_outs <- pvm.stats.n_push_outs + 1;
+      bump pvm.stats.sc_push_outs;
       charge pvm Hw.Cost.Stub_insert;
       let ps = page_size pvm in
       let snapshot = Hw.Phys_mem.read page.p_frame ~off:0 ~len:ps in

@@ -88,13 +88,13 @@ let[@chorus.spanned
     (stub : cow_stub) =
   assert (stub.cs_alive);
   let source = source_cache_of stub in
-  pvm.stats.n_stub_resolves <- pvm.stats.n_stub_resolves + 1;
+  bump pvm.stats.sc_stub_resolves;
   let copy_from (sp : page) =
     with_wired sp (fun () ->
         let frame = Pager.alloc_frame pvm in
         charge pvm Hw.Cost.Bcopy_page;
         Hw.Phys_mem.bcopy ~src:sp.p_frame ~dst:frame;
-        pvm.stats.n_cow_copies <- pvm.stats.n_cow_copies + 1;
+        bump pvm.stats.sc_cow_copies;
         frame)
   in
   let frame =
@@ -107,7 +107,7 @@ let[@chorus.spanned
         let frame = Pager.alloc_frame pvm in
         charge pvm Hw.Cost.Bzero_page;
         Hw.Phys_mem.bzero frame;
-        pvm.stats.n_zero_fills <- pvm.stats.n_zero_fills + 1;
+        bump pvm.stats.sc_zero_fills;
         frame)
   in
   unthread pvm stub;

@@ -8,13 +8,14 @@ type cache = Types.cache
 let create ?(page_size = 8192) ?(cost = Hw.Cost.chorus_sun360) ?(shards = 8)
     ~frames ~engine () =
   let mem = Hw.Phys_mem.create ~page_size ~frames () in
+  let obs = Obs.Metrics.create ~prims:Hw.Cost.prim_names () in
   {
     mem;
     mmu = Hw.Mmu.create ~page_size;
     cost;
     engine;
-    gmap = Shard_map.create ~shards ();
-    stub_sources = Shard_map.create ~shards ();
+    gmap = Shard_map.create ~name:"gmap" ~shards ();
+    stub_sources = Shard_map.create ~name:"stub_sources" ~shards ();
     page_of_frame = Array.make frames None;
     contexts = [];
     caches = [];
@@ -24,11 +25,13 @@ let create ?(page_size = 8192) ?(cost = Hw.Cost.chorus_sun360) ?(shards = 8)
     mm_lock = Mutex.create ();
     mm_owner = Atomic.make (-1);
     mm_depth = 0;
+    mm_stat = Obs.Lockstat.create "pvm/mm";
     stub_sleeps = Atomic.make 0;
     segment_create_hook = None;
     zombie_reaper = None;
     stats = fresh_stats ();
-    obs = Obs.Metrics.create ~prims:Hw.Cost.prim_names ();
+    obs;
+    fault_hist = Array.map (Obs.Metrics.histogram obs) Fault.hist_names;
   }
   |> Cache.install_reaper
 
@@ -36,7 +39,7 @@ let engine pvm = pvm.engine
 let memory pvm = pvm.mem
 let cost pvm = pvm.cost
 let page_size = Types.page_size
-let stats pvm = pvm.stats
+let stats pvm = snapshot_stats pvm.stats
 let tracer pvm = Hw.Engine.tracer pvm.engine
 let[@chorus.spanned
      "re-export of the charge primitive for upper layers; L3's subjects are \
@@ -49,7 +52,7 @@ let[@chorus.noted
      "read-only reporting snapshot taken between runs, not from engine-task \
       code: the counters it copies are never part of a slice footprint"]
     metrics pvm =
-  let s = pvm.stats and m = pvm.obs in
+  let s = snapshot_stats pvm.stats and m = pvm.obs in
   let set name v = Obs.Metrics.set (Obs.Metrics.counter m name) v in
   set "pvm.faults" s.n_faults;
   set "pvm.zero_fills" s.n_zero_fills;
@@ -71,6 +74,27 @@ let[@chorus.noted
   set "gmap.lock_waits" (Shard_map.lock_waits pvm.gmap);
   set "gmap.stub_sources.probes" (Shard_map.probes pvm.stub_sources);
   set "gmap.stub_sleeps" (Atomic.get pvm.stub_sleeps);
+  (* Per-shard attribution: the summed probes above hide hot-shard
+     skew, so each shard also publishes its own probe and lock-wait
+     counts. *)
+  Array.iteri
+    (fun i n -> set (Printf.sprintf "gmap.shard%d.probes" i) n)
+    (Shard_map.probes_per_shard pvm.gmap);
+  Array.iteri
+    (fun i n -> set (Printf.sprintf "gmap.shard%d.lock_waits" i) n)
+    (Shard_map.lock_waits_per_shard pvm.gmap);
+  (* Per-simulated-CPU utilization (parallel engine only): busy is the
+     charge time placed on that CPU, idle is its slack against the
+     makespan reached so far. *)
+  let busy = Hw.Engine.cpu_busy pvm.engine in
+  if Array.length busy > 0 then begin
+    let makespan = Hw.Engine.now pvm.engine in
+    Array.iteri
+      (fun i b ->
+        set (Printf.sprintf "engine.cpu%d.busy_ns" i) b;
+        set (Printf.sprintf "engine.cpu%d.idle_ns" i) (max 0 (makespan - b)))
+      busy
+  end;
   let occ = Obs.Metrics.histogram m "gmap.shard_occupancy" in
   (* a fresh snapshot, not a stream: [metrics] may be called several
      times per report and must stay idempotent *)
@@ -78,19 +102,18 @@ let[@chorus.noted
   Array.iter (fun n -> Obs.Metrics.observe occ n) (Shard_map.occupancy pvm.gmap);
   m
 
-let reset_stats pvm =
-  let s = pvm.stats and z = fresh_stats () in
-  s.n_faults <- z.n_faults;
-  s.n_zero_fills <- z.n_zero_fills;
-  s.n_cow_copies <- z.n_cow_copies;
-  s.n_pull_ins <- z.n_pull_ins;
-  s.n_push_outs <- z.n_push_outs;
-  s.n_evictions <- z.n_evictions;
-  s.n_tree_lookups <- z.n_tree_lookups;
-  s.n_history_created <- z.n_history_created;
-  s.n_stub_resolves <- z.n_stub_resolves;
-  s.n_eager_pages <- z.n_eager_pages;
-  s.n_moved_pages <- z.n_moved_pages
+let reset_stats pvm = Types.reset_stats pvm.stats
+
+(* Every instrumented lock owned by this PVM, for the contention
+   report: the mm lock and each shard lock of the two sharded maps.
+   The engine pool lock is the engine's
+   ({!Hw.Engine.pool_lock_stats}), so several PVMs sharing one engine
+   don't each re-report it. *)
+let[@chorus.noted
+     "quiescence-time reporting: reads only the lock statistics, never \
+      map contents, so no schedule can depend on it"] lock_stats pvm =
+  Obs.Lockstat.snapshot pvm.mm_stat
+  :: (Shard_map.lock_stats pvm.gmap @ Shard_map.lock_stats pvm.stub_sources)
 
 let set_segment_create_hook pvm hook = pvm.segment_create_hook <- Some hook
 

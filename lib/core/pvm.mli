@@ -49,6 +49,11 @@ val cost : t -> Hw.Cost.profile
 (** The calibrated cost profile charged by this instance. *)
 
 val stats : t -> Types.stats
+(** A point-in-time snapshot of the event counters.  The live cells
+    are atomic ({!Types.stats_cells}), so the snapshot is exact at
+    quiescence and safe to take during a parallel run (each counter is
+    individually consistent). *)
+
 val reset_stats : t -> unit
 
 val metrics : t -> Obs.Metrics.t
@@ -57,7 +62,20 @@ val metrics : t -> Obs.Metrics.t
     ...), the per-primitive sim-time attribution table (§5.3.2
     decomposition) and — published on each call, so the registry
     subsumes them — the legacy {!Types.stats} counters under
-    "pvm.*". *)
+    "pvm.*", per-shard global-map attribution ("gmap.shardN.probes",
+    "gmap.shardN.lock_waits") and, on a parallel engine, per-CPU
+    utilization ("engine.cpuN.busy_ns"/"engine.cpuN.idle_ns" against
+    the makespan). *)
+
+val lock_stats : t -> Obs.Lockstat.snapshot list
+(** Contention statistics for every instrumented lock this instance
+    owns: the memory-management lock ([pvm/mm]) and each shard lock of
+    the global map ([gmap/shardN]) and stub-source table
+    ([stub_sources/shardN]).  Prepend
+    {!Hw.Engine.pool_lock_stats} for the engine's pool lock.  Counts
+    are always maintained; wall-clock wait/hold timing additionally
+    requires {!Obs.Lockstat.enable_timing}.  Feed to
+    {!Obs.Profile.contention} for the rendered tree. *)
 
 val tracer : t -> Obs.Trace.t
 (** The tracing sink of this instance's engine ({!Hw.Engine.tracer});

@@ -10,21 +10,23 @@ type 'v shard = {
   s_lock : Mutex.t;
   s_tbl : (key, 'v) Hashtbl.t;
   s_probes : int Atomic.t;
-  s_lock_waits : int Atomic.t;
+  s_stat : Obs.Lockstat.t;
+      (* acquires/waits per shard, wait/hold wall-clock when Lockstat
+         timing is enabled; [lock_waits] reads its wait counts *)
 }
 
 type 'v t = { shards : 'v shard array }
 
-let create ?(shards = 8) () =
+let create ?(name = "gmap") ?(shards = 8) () =
   if shards < 1 then invalid_arg "Shard_map.create: shard count < 1";
   {
     shards =
-      Array.init shards (fun _ ->
+      Array.init shards (fun i ->
           {
             s_lock = Mutex.create ();
             s_tbl = Hashtbl.create 64;
             s_probes = Atomic.make 0;
-            s_lock_waits = Atomic.make 0;
+            s_stat = Obs.Lockstat.create (Printf.sprintf "%s/shard%d" name i);
           });
   }
 
@@ -44,20 +46,18 @@ let shard t k = t.shards.(shard_of t k)
    engine and on the parallel coordinator no other domain can hold
    them (the coordinator barriers on pool quiescence), so skipping the
    lock is both safe and what keeps the oracle path byte-identical to
-   the seed's single table.  Lock acquisition that would block is
-   counted as a lock wait. *)
+   the seed's single table.  Acquisition goes through the shard's
+   Lockstat: an acquisition that would block is counted as a lock
+   wait, and wall-clock wait/hold timing rides along when enabled. *)
 let[@inline] locked s f =
   if Hw.Engine.in_parallel_slice () then begin
-    if not (Mutex.try_lock s.s_lock) then begin
-      Atomic.incr s.s_lock_waits;
-      Mutex.lock s.s_lock
-    end;
+    Obs.Lockstat.lock s.s_stat s.s_lock;
     match f () with
     | v ->
-      Mutex.unlock s.s_lock;
+      Obs.Lockstat.unlock s.s_stat s.s_lock;
       v
     | exception e ->
-      Mutex.unlock s.s_lock;
+      Obs.Lockstat.unlock s.s_stat s.s_lock;
       raise e
   end
   else f ()
@@ -117,4 +117,14 @@ let probes t =
   Array.fold_left (fun acc s -> acc + Atomic.get s.s_probes) 0 t.shards
 
 let lock_waits t =
-  Array.fold_left (fun acc s -> acc + Atomic.get s.s_lock_waits) 0 t.shards
+  Array.fold_left
+    (fun acc s -> acc + Obs.Lockstat.waits s.s_stat)
+    0 t.shards
+
+let probes_per_shard t = Array.map (fun s -> Atomic.get s.s_probes) t.shards
+
+let lock_waits_per_shard t =
+  Array.map (fun s -> Obs.Lockstat.waits s.s_stat) t.shards
+
+let lock_stats t =
+  Array.to_list (Array.map (fun s -> Obs.Lockstat.snapshot s.s_stat) t.shards)

@@ -20,8 +20,10 @@ type key = int * int
 
 type 'v t
 
-val create : ?shards:int -> unit -> 'v t
-(** [shards] defaults to 8 and must be at least 1. *)
+val create : ?name:string -> ?shards:int -> unit -> 'v t
+(** [shards] defaults to 8 and must be at least 1.  [name] (default
+    ["gmap"]) labels the per-shard lock statistics, which appear in
+    the contention report as [name/shard0], [name/shard1], ... *)
 
 val shard_count : 'v t -> int
 
@@ -64,3 +66,16 @@ val probes : 'v t -> int
 val lock_waits : 'v t -> int
 (** How many point operations found their shard lock held and had to
     block — the contention signal behind [gmap.lock_waits]. *)
+
+val probes_per_shard : 'v t -> int array
+(** Point operations served per shard, by shard index — the per-shard
+    attribution behind the [gmap.shardN.probes] counters (hot-shard
+    skew is invisible in the summed {!probes}). *)
+
+val lock_waits_per_shard : 'v t -> int array
+(** Blocked acquisitions per shard, by shard index. *)
+
+val lock_stats : 'v t -> Obs.Lockstat.snapshot list
+(** Per-shard lock statistics in shard index order: acquires and
+    contended acquires always; wait/hold wall-clock timing when
+    {!Obs.Lockstat.enable_timing} is active. *)

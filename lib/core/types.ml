@@ -32,6 +32,11 @@ type pvm = {
          on the oracle path it is never touched *)
   mm_owner : int Atomic.t; (* domain holding mm_lock, -1 when free *)
   mutable mm_depth : int; (* reentrancy depth; owner-only *)
+  mm_stat : Obs.Lockstat.t;
+      (* contention accounting for mm_lock: acquisition/contended
+         counts always, wait/hold wall-clock when Lockstat timing is
+         enabled.  Only outermost acquisitions go through it;
+         reentrant re-entries are owner-local bookkeeping *)
   stub_sleeps : int Atomic.t;
       (* fibres that parked waiting for a sync stub to resolve *)
   mutable segment_create_hook : (cache -> Gmi.backing option) option;
@@ -40,10 +45,14 @@ type pvm = {
          cache once its last reader — fragment child or per-page stub
          — is gone.  A hook because stub death (Pervpage) sits below
          cache teardown in the module graph. *)
-  stats : stats;
+  stats : stats_cells;
   obs : Obs.Metrics.t;
       (* always-on aggregates: fault-latency histograms by resolution
          kind and the per-primitive sim-time attribution table *)
+  fault_hist : Obs.Metrics.histogram array;
+      (* the fault-latency histograms of [obs], pre-resolved by
+         resolution kind (index = Fault.hist_index) so the per-fault
+         update is handle-direct: no registry lookup, domain-safe *)
 }
 
 and gkey = int * int (* cache id, byte offset of page start *)
@@ -129,34 +138,88 @@ and context = {
   mutable ctx_alive : bool;
 }
 
-and stats = {
-  mutable n_faults : int;
-  mutable n_zero_fills : int;
-  mutable n_cow_copies : int; (* pages really copied on a write fault *)
-  mutable n_pull_ins : int;
-  mutable n_push_outs : int;
-  mutable n_evictions : int;
-  mutable n_tree_lookups : int; (* copy-tree levels traversed *)
-  mutable n_history_created : int; (* working caches inserted *)
-  mutable n_stub_resolves : int; (* per-virtual-page stubs resolved *)
-  mutable n_eager_pages : int; (* pages copied eagerly *)
-  mutable n_moved_pages : int; (* pages moved by frame reassignment *)
+and stats_cells = {
+  (* The live counters.  Atomic cells rather than mutable ints because
+     parallel slices on distinct domains bump them concurrently; a
+     single [Atomic.incr] per event keeps totals exact at quiescence
+     with no lock.  Readers take a [stats] snapshot
+     ({!snapshot_stats}). *)
+  sc_faults : int Atomic.t;
+  sc_zero_fills : int Atomic.t;
+  sc_cow_copies : int Atomic.t; (* pages really copied on a write fault *)
+  sc_pull_ins : int Atomic.t;
+  sc_push_outs : int Atomic.t;
+  sc_evictions : int Atomic.t;
+  sc_tree_lookups : int Atomic.t; (* copy-tree levels traversed *)
+  sc_history_created : int Atomic.t; (* working caches inserted *)
+  sc_stub_resolves : int Atomic.t; (* per-virtual-page stubs resolved *)
+  sc_eager_pages : int Atomic.t; (* pages copied eagerly *)
+  sc_moved_pages : int Atomic.t; (* pages moved by frame reassignment *)
+}
+
+(* A point-in-time reading of the counters — the plain-int view every
+   consumer (reports, benchmarks, examples) works with. *)
+type stats = {
+  n_faults : int;
+  n_zero_fills : int;
+  n_cow_copies : int;
+  n_pull_ins : int;
+  n_push_outs : int;
+  n_evictions : int;
+  n_tree_lookups : int;
+  n_history_created : int;
+  n_stub_resolves : int;
+  n_eager_pages : int;
+  n_moved_pages : int;
 }
 
 let fresh_stats () =
   {
-    n_faults = 0;
-    n_zero_fills = 0;
-    n_cow_copies = 0;
-    n_pull_ins = 0;
-    n_push_outs = 0;
-    n_evictions = 0;
-    n_tree_lookups = 0;
-    n_history_created = 0;
-    n_stub_resolves = 0;
-    n_eager_pages = 0;
-    n_moved_pages = 0;
+    sc_faults = Atomic.make 0;
+    sc_zero_fills = Atomic.make 0;
+    sc_cow_copies = Atomic.make 0;
+    sc_pull_ins = Atomic.make 0;
+    sc_push_outs = Atomic.make 0;
+    sc_evictions = Atomic.make 0;
+    sc_tree_lookups = Atomic.make 0;
+    sc_history_created = Atomic.make 0;
+    sc_stub_resolves = Atomic.make 0;
+    sc_eager_pages = Atomic.make 0;
+    sc_moved_pages = Atomic.make 0;
   }
+
+let snapshot_stats (c : stats_cells) : stats =
+  {
+    n_faults = Atomic.get c.sc_faults;
+    n_zero_fills = Atomic.get c.sc_zero_fills;
+    n_cow_copies = Atomic.get c.sc_cow_copies;
+    n_pull_ins = Atomic.get c.sc_pull_ins;
+    n_push_outs = Atomic.get c.sc_push_outs;
+    n_evictions = Atomic.get c.sc_evictions;
+    n_tree_lookups = Atomic.get c.sc_tree_lookups;
+    n_history_created = Atomic.get c.sc_history_created;
+    n_stub_resolves = Atomic.get c.sc_stub_resolves;
+    n_eager_pages = Atomic.get c.sc_eager_pages;
+    n_moved_pages = Atomic.get c.sc_moved_pages;
+  }
+
+let reset_stats (c : stats_cells) =
+  Atomic.set c.sc_faults 0;
+  Atomic.set c.sc_zero_fills 0;
+  Atomic.set c.sc_cow_copies 0;
+  Atomic.set c.sc_pull_ins 0;
+  Atomic.set c.sc_push_outs 0;
+  Atomic.set c.sc_evictions 0;
+  Atomic.set c.sc_tree_lookups 0;
+  Atomic.set c.sc_history_created 0;
+  Atomic.set c.sc_stub_resolves 0;
+  Atomic.set c.sc_eager_pages 0;
+  Atomic.set c.sc_moved_pages 0
+
+(* The one-event bump every operational module uses.  A name, not bare
+   [Atomic.incr], so the counting sites read as what they count:
+   [bump pvm.stats.sc_pull_ins]. *)
+let bump (c : int Atomic.t) = Atomic.incr c
 
 let next_id pvm = Atomic.fetch_and_add pvm.next_id 1
 
@@ -180,7 +243,7 @@ let[@chorus.noted
     let me = (Domain.self () :> int) in
     if Atomic.get pvm.mm_owner = me then pvm.mm_depth <- pvm.mm_depth + 1
     else begin
-      Mutex.lock pvm.mm_lock;
+      Obs.Lockstat.lock pvm.mm_stat pvm.mm_lock;
       Atomic.set pvm.mm_owner me;
       pvm.mm_depth <- 1
     end
@@ -193,7 +256,7 @@ let[@chorus.noted
     pvm.mm_depth <- pvm.mm_depth - 1;
     if pvm.mm_depth = 0 then begin
       Atomic.set pvm.mm_owner (-1);
-      Mutex.unlock pvm.mm_lock
+      Obs.Lockstat.unlock pvm.mm_stat pvm.mm_lock
     end
   end
 

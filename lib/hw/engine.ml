@@ -65,6 +65,16 @@ type par = {
          scheduling — so the horizon is the workload's makespan on an
          N-CPU machine, independent of which OS worker executes which
          slice.  Protected by [p_lock]. *)
+  p_busy : Sim_time.span array;
+      (* accumulated charge time per simulated CPU: every committed
+         slice adds its charged interval to the CPU it was placed on,
+         so busy(i) <= makespan and makespan - busy(i) is CPU i's idle
+         time.  Protected by [p_lock]; the raw material of the
+         utilization report. *)
+  p_stat : Obs.Lockstat.t;
+      (* contention accounting for [p_lock] itself: every acquisition
+         goes through it (one Atomic op), wait/hold wall-clock only
+         when Lockstat timing is enabled *)
 }
 
 type t = {
@@ -148,6 +158,8 @@ let create ?(tie_break = Fifo) ?domains () =
           p_exn = None;
           p_horizon = Sim_time.zero;
           p_cpu = Array.make n Sim_time.zero;
+          p_busy = Array.make n 0;
+          p_stat = Obs.Lockstat.create "engine/pool";
         }
   in
   {
@@ -176,6 +188,15 @@ let create ?(tie_break = Fifo) ?domains () =
 
 let domains eng = match eng.par with Some p -> p.p_domains | None -> 0
 
+(* Per-CPU utilization raw material: accumulated charge time per
+   simulated CPU (empty on the sequential engine).  Read at
+   quiescence — after [run] returns — for a stable snapshot. *)
+let cpu_busy eng =
+  match eng.par with None -> [||] | Some p -> Array.copy p.p_busy
+
+let pool_lock_stats eng =
+  match eng.par with None -> [] | Some p -> [ Obs.Lockstat.snapshot p.p_stat ]
+
 (* Inside a parallel slice, "now" is the slice's private virtual
    clock; everywhere else it is the coordinator clock.  This keeps
    fault-latency arithmetic (now-after minus now-before) meaningful on
@@ -194,13 +215,31 @@ let tracer eng = eng.tracer
 
 let set_tracer eng tr =
   eng.tracer <- tr;
-  Obs.Trace.set_clock tr (fun () -> eng.now);
-  Obs.Trace.set_fibre tr (fun () -> eng.cur_fib)
+  (* The DLS-aware accessors, not the raw fields: inside a parallel
+     slice the tracer must see the slice's virtual clock and fibre,
+     not the coordinator's. *)
+  Obs.Trace.set_clock tr (fun () -> now eng);
+  Obs.Trace.set_fibre tr (fun () -> current_fibre eng)
 
 let flight eng = eng.flight
-let set_flight eng fl = eng.flight <- fl
+
+let set_flight eng fl =
+  if eng.par <> None && Obs.Flight.enabled fl then
+    invalid_arg
+      "Engine.set_flight: the flight recorder requires the sequential engine \
+       (this engine was created with ~domains; record on the sequential \
+       oracle twin instead)";
+  eng.flight <- fl
+
 let set_event_hook eng hook = eng.on_event <- hook
-let set_scheduler eng s = eng.sched <- Some s
+
+let set_scheduler eng s =
+  if eng.par <> None then
+    invalid_arg
+      "Engine.set_scheduler: schedulers require the sequential engine (this \
+       engine was created with ~domains; explore schedules on the sequential \
+       oracle twin instead)";
+  eng.sched <- Some s
 let clear_scheduler eng = eng.sched <- None
 let tracking eng = eng.tracking
 
@@ -223,6 +262,11 @@ let describe eng fib =
 
 let enable_watchdog eng ?(stall_after = Sim_time.ms 1000)
     ?(check_every = Sim_time.ms 1) ?metrics () =
+  if eng.par <> None then
+    invalid_arg
+      "Engine.enable_watchdog: the watchdog requires the sequential engine \
+       (this engine was created with ~domains; watch the sequential oracle \
+       twin instead)";
   let m = match metrics with Some m -> m | None -> Obs.Metrics.create () in
   eng.watch <-
     Some
@@ -422,7 +466,7 @@ let schedule eng ~daemon ~fib time run =
     if not daemon then eng.live_tasks <- eng.live_tasks + 1;
     Pqueue.push eng.queue { time; seq; key; daemon; fib; cls = 0; run }
   | Some p ->
-    Mutex.lock p.p_lock;
+    Obs.Lockstat.lock p.p_stat p.p_lock;
     let seq = eng.seq in
     eng.seq <- seq + 1;
     let key = tie_key eng seq in
@@ -431,7 +475,7 @@ let schedule eng ~daemon ~fib time run =
       match Hashtbl.find_opt eng.classes fib with Some c -> c | None -> 0
     in
     enqueue eng p { time; seq; key; daemon; fib; cls; run };
-    Mutex.unlock p.p_lock
+    Obs.Lockstat.unlock p.p_stat p.p_lock
 
 let sleep span =
   if span < 0 then invalid_arg "Engine.sleep: negative span";
@@ -481,10 +525,10 @@ let exec eng ~daemon f =
       match eng.par with
       | None -> eng.live <- eng.live - 1
       | Some p ->
-        Mutex.lock p.p_lock;
+        Obs.Lockstat.lock p.p_stat p.p_lock;
         eng.live <- eng.live - 1;
         Condition.signal p.p_idle;
-        Mutex.unlock p.p_lock
+        Obs.Lockstat.unlock p.p_stat p.p_lock
   in
   Effect.Deep.match_with f ()
     {
@@ -566,11 +610,15 @@ let spawn eng ?name ?(daemon = false) ?(affinity = 0) f =
     | None -> ());
     schedule eng ~daemon ~fib eng.now (fun () -> exec eng ~daemon f)
   | Some p ->
-    Mutex.lock p.p_lock;
+    Obs.Lockstat.lock p.p_stat p.p_lock;
     if not daemon then eng.live <- eng.live + 1;
     let fib = eng.next_fib in
     eng.next_fib <- fib + 1;
-    (match name with Some n -> Hashtbl.replace eng.names fib n | None -> ());
+    (match name with
+    | Some n ->
+      Hashtbl.replace eng.names fib n;
+      Obs.Trace.name_fibre eng.tracer fib n
+    | None -> ());
     if affinity <> 0 then Hashtbl.replace eng.classes fib affinity;
     let time =
       match Domain.DLS.get cur_ptask with
@@ -591,7 +639,7 @@ let spawn eng ?name ?(daemon = false) ?(affinity = 0) f =
         cls = affinity;
         run = (fun () -> exec eng ~daemon f);
       };
-    Mutex.unlock p.p_lock
+    Obs.Lockstat.unlock p.p_stat p.p_lock
 
 (* The implicit pick among equal-time ready tasks, identical to the
    heap order by construction: under Fifo the array is already in key
@@ -722,11 +770,11 @@ let worker eng p =
     !best
   in
   let rec go () =
-    Mutex.lock p.p_lock;
+    Obs.Lockstat.lock p.p_stat p.p_lock;
     while Queue.is_empty p.runnable && not p.p_stop do
-      Condition.wait p.p_work p.p_lock
+      Obs.Lockstat.wait p.p_stat p.p_work p.p_lock
     done;
-    if p.p_stop then Mutex.unlock p.p_lock
+    if p.p_stop then Obs.Lockstat.unlock p.p_stat p.p_lock
     else begin
       let aff = Queue.pop p.runnable in
       let lane = Hashtbl.find p.lanes aff in
@@ -735,19 +783,25 @@ let worker eng p =
       p.p_running <- p.p_running + 1;
       if not task.daemon then eng.live_tasks <- eng.live_tasks - 1;
       let base = max task.time p.p_cpu.(pick_cpu ()) in
-      Mutex.unlock p.p_lock;
+      Obs.Lockstat.unlock p.p_stat p.p_lock;
       let pt = { pt_fib = task.fib; pt_clock = base } in
       Domain.DLS.set cur_ptask (Some pt);
+      if Obs.Trace.enabled eng.tracer then Obs.Trace.slice_begin eng.tracer;
       (try task.run ()
        with ex ->
-         Mutex.lock p.p_lock;
+         Obs.Lockstat.lock p.p_stat p.p_lock;
          if p.p_exn = None then p.p_exn <- Some ex;
-         Mutex.unlock p.p_lock);
+         Obs.Lockstat.unlock p.p_stat p.p_lock);
       Domain.DLS.set cur_ptask None;
-      Mutex.lock p.p_lock;
+      Obs.Lockstat.lock p.p_stat p.p_lock;
       let cpu = pick_cpu () in
-      let finish = pt.pt_clock + max 0 (p.p_cpu.(cpu) - base) in
+      let shift = max 0 (p.p_cpu.(cpu) - base) in
+      let finish = pt.pt_clock + shift in
       p.p_cpu.(cpu) <- finish;
+      p.p_busy.(cpu) <- p.p_busy.(cpu) + (pt.pt_clock - base);
+      if Obs.Trace.enabled eng.tracer then
+        Obs.Trace.slice_commit eng.tracer ~cpu ~fib:task.fib ~t0:(base + shift)
+          ~t1:finish ~shift;
       p.p_running <- p.p_running - 1;
       if finish > p.p_horizon then p.p_horizon <- finish;
       lane.l_busy <- false;
@@ -756,7 +810,7 @@ let worker eng p =
         Condition.signal p.p_work
       end;
       Condition.signal p.p_idle;
-      Mutex.unlock p.p_lock;
+      Obs.Lockstat.unlock p.p_stat p.p_lock;
       go ()
     end
   in
@@ -775,47 +829,53 @@ let run_parallel eng p main =
     invalid_arg "Engine.run: the flight recorder requires the sequential engine";
   if eng.watch <> None then
     invalid_arg "Engine.run: the watchdog requires the sequential engine";
+  (* Tracing in parallel mode records through per-domain shards; the
+     no-op is preserved because [set_sharded] ignores the null tracer
+     and every recording entry point still checks [enabled] first. *)
+  Obs.Trace.set_sharded eng.tracer true;
   spawn eng main;
   let workers =
     Array.init p.p_domains (fun _ -> Domain.spawn (fun () -> worker eng p))
   in
   let stop_workers () =
-    Mutex.lock p.p_lock;
+    Obs.Lockstat.lock p.p_stat p.p_lock;
     p.p_stop <- true;
     Condition.broadcast p.p_work;
-    Mutex.unlock p.p_lock;
+    Obs.Lockstat.unlock p.p_stat p.p_lock;
     Array.iter Domain.join workers
   in
   let pool_busy () = p.p_running > 0 || not (Queue.is_empty p.runnable) in
   let rec loop () =
-    Mutex.lock p.p_lock;
-    if p.p_exn <> None then Mutex.unlock p.p_lock
+    Obs.Lockstat.lock p.p_stat p.p_lock;
+    if p.p_exn <> None then Obs.Lockstat.unlock p.p_stat p.p_lock
     else begin
       let more =
         eng.live_tasks > 0
         || eng.live > 0
            && ((not (Pqueue.is_empty eng.queue)) || pool_busy ())
       in
-      if not more then Mutex.unlock p.p_lock
+      if not more then Obs.Lockstat.unlock p.p_stat p.p_lock
       else if Pqueue.is_empty eng.queue then begin
         (* Only pool work in flight: wait for it to finish, park, or
            schedule something serial. *)
-        Condition.wait p.p_idle p.p_lock;
-        Mutex.unlock p.p_lock;
+        Obs.Lockstat.wait p.p_stat p.p_idle p.p_lock;
+        Obs.Lockstat.unlock p.p_stat p.p_lock;
         loop ()
       end
       else begin
         (* A serial task is due: barrier on pool quiescence first. *)
         while pool_busy () && p.p_exn = None do
-          Condition.wait p.p_idle p.p_lock
+          Obs.Lockstat.wait p.p_stat p.p_idle p.p_lock
         done;
-        if p.p_exn <> None then (Mutex.unlock p.p_lock; loop ())
+        if p.p_exn <> None then (
+          Obs.Lockstat.unlock p.p_stat p.p_lock;
+          loop ())
         else begin
           let task = Pqueue.pop eng.queue in
           if not task.daemon then eng.live_tasks <- eng.live_tasks - 1;
           if task.time > eng.now then eng.now <- task.time;
           eng.cur_fib <- task.fib;
-          Mutex.unlock p.p_lock;
+          Obs.Lockstat.unlock p.p_stat p.p_lock;
           task.run ();
           eng.on_event ();
           loop ()

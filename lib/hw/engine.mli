@@ -79,6 +79,21 @@ val domains : t -> int
 (** The worker-pool size this engine was created with; [0] for the
     cooperative engine. *)
 
+val cpu_busy : t -> Sim_time.span array
+(** Accumulated busy (charged) simulated time per simulated CPU, index
+    [0 .. domains-1]; [[||]] on the sequential engine.  Every committed
+    parallel slice adds its charge interval to the CPU it was placed
+    on, so [busy.(i) <= makespan] and [makespan - busy.(i)] is CPU
+    [i]'s idle time — the raw material of the utilization report.
+    Read after {!run} returns for a stable snapshot. *)
+
+val pool_lock_stats : t -> Obs.Lockstat.snapshot list
+(** Contention statistics for the engine's internal pool lock
+    ([engine/pool]): acquisition and contended-acquisition counts are
+    always maintained (one atomic op each); wait/hold wall-clock
+    timing additionally requires {!Obs.Lockstat.enable_timing}.  Empty
+    on the sequential engine, which has no pool lock. *)
+
 val in_parallel_slice : unit -> bool
 (** Whether the calling code is executing inside a parallel slice on a
     worker domain — i.e. whether other domains may be touching shared
@@ -89,7 +104,11 @@ val in_parallel_slice : unit -> bool
 
 val set_scheduler : t -> scheduler -> unit
 (** Route every dispatch through an explicit choice point.  Overrides
-    the [tie_break] policy while installed. *)
+    the [tie_break] policy while installed.
+    @raise Invalid_argument on a parallel engine (created with
+    [~domains]): schedulers enumerate a serial dispatch order, which
+    the pool does not have.  Explore schedules on the sequential
+    oracle twin instead. *)
 
 val clear_scheduler : t -> unit
 
@@ -151,7 +170,12 @@ val tracer : t -> Obs.Trace.t
 
 val set_tracer : t -> Obs.Trace.t -> unit
 (** Attach a tracing sink, wiring its clock to this engine's simulated
-    time and its fibre source to {!current_fibre}. *)
+    time and its fibre source to {!current_fibre} (both slice-aware:
+    inside a parallel slice they report the slice's virtual clock and
+    fibre).  Tracing works on both engines: the parallel engine
+    switches the tracer into domain-sharded mode at [run] and commits
+    each slice's events with its final CPU placement, so the merged
+    trace carries one extra track per simulated CPU. *)
 
 val flight : t -> Obs.Flight.t
 (** The flight recorder attached to this engine; {!Obs.Flight.null} —
@@ -166,7 +190,14 @@ val set_flight : t -> Obs.Flight.t -> unit
     schedule is identical to the unrecorded one), and {!note_access}
     footprints are logged as access records.  The decision log
     replays the run deterministically through the explorer's
-    forced-schedule machinery. *)
+    forced-schedule machinery.
+    @raise Invalid_argument when attaching an {e enabled} recorder to
+    a parallel engine: the flight ring logs a serial decision
+    sequence, which the pool does not produce.  This is the remaining
+    parallel-mode observability limitation (tracing and metrics now
+    work there); record flights on the sequential oracle twin.
+    Attaching a disabled recorder (e.g. {!Obs.Flight.null}) is
+    allowed. *)
 
 val fibre_name : t -> int -> string option
 (** The [?name] given to {!spawn} for this fibre, if any. *)
@@ -190,7 +221,10 @@ val enable_watchdog :
     counted in ["watchdog.deadlocks"] and ["watchdog.checks"].  The
     waiting table is swept at most once per [check_every] of simulated
     time (default 1ms).  Counters live in [metrics] (fresh registry if
-    omitted; retrieve via {!watchdog_metrics}). *)
+    omitted; retrieve via {!watchdog_metrics}).
+    @raise Invalid_argument on a parallel engine: the watchdog sweeps
+    a serial waiting table between events, which the pool does not
+    maintain.  Watch the sequential oracle twin instead. *)
 
 val watchdog_metrics : t -> Obs.Metrics.t option
 (** The registry holding the watchdog counters, when enabled. *)

@@ -6,8 +6,10 @@
    lib/check additionally gets the sanitizer-purity rule; the two
    alternative GMI implementations (shadow, minimal) only charge, so
    only the charge discipline applies.  lib/hw and lib/obs are the
-   mechanisms the disciplines are built from and are deliberately out
-   of scope.
+   mechanisms the disciplines are built from and are mostly out of
+   scope — except obs/trace.ml, whose per-domain recording fast path
+   runs inside every parallel slice and therefore carries the charge
+   and hot-allocation disciplines ([@chorus.hot] ring/shard writers).
 
    Baseline: findings are aggregated by stable key (rule, file,
    enclosing binding, detail) and compared against the committed
@@ -20,7 +22,11 @@
 
 let engine_task_libs = [ "core"; "seg"; "nucleus"; "mix"; "dsm"; "check" ]
 let charge_only_libs = [ "shadow"; "minimal" ]
-let scanned_libs = engine_task_libs @ charge_only_libs
+
+(* The one lib/obs file in scope: the domain-sharded trace fast path
+   (see the header comment). *)
+let obs_hot_files = [ "trace.ml" ]
+let scanned_libs = engine_task_libs @ charge_only_libs @ [ "obs" ]
 
 (* "…/lib/core/cache.ml" -> Some ("core", "lib/core/cache.ml") *)
 let split_lib_path path =
@@ -38,6 +44,8 @@ let rules_for ~lib ~basename =
   if List.mem lib engine_task_libs then
     [ Finding.L1; Finding.L2; Finding.L3; Finding.L4 ] @ l5
   else if List.mem lib charge_only_libs then [ Finding.L3; Finding.L4 ]
+  else if lib = "obs" && List.mem basename obs_hot_files then
+    [ Finding.L3; Finding.L4 ]
   else []
 
 (* --- .cmt discovery ----------------------------------------------- *)

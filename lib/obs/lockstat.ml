@@ -1,0 +1,143 @@
+(* Contention accounting for one OS-level mutex.
+
+   The parallel engine synchronises with real mutexes (the pool lock,
+   the per-PVM mm-lock, the global-map shard locks); none of them
+   advance the simulated clock, so contention on them is invisible to
+   the cost model.  A [Lockstat.t] wraps a mutex's lock/unlock pair
+   with two tiers of accounting:
+
+   - counts (acquisitions, how many had to block) are plain Atomics
+     and always on: one fetch-and-add per acquisition;
+   - wait/hold *times* are wall-clock and only measured when a caller
+     has installed a clock via {!enable_timing} — observability must
+     not put a syscall on every lock acquisition by default.
+
+   Wall-clock, not sim-clock, deliberately: a domain blocked on a
+   mutex does not advance the virtual clock at all, so the only
+   meaningful measure of the blocking is host time.  The numbers are
+   machine-dependent and are reported, never gated on.
+
+   [ls_since] is written only while holding the instrumented mutex,
+   so it needs no synchronisation of its own. *)
+
+type t = {
+  ls_name : string;
+  ls_acquires : int Atomic.t;
+  ls_waits : int Atomic.t; (* acquisitions that found the lock held *)
+  ls_wait_ns : int Atomic.t;
+  ls_hold_ns : int Atomic.t;
+  ls_max_wait_ns : int Atomic.t;
+  ls_max_hold_ns : int Atomic.t;
+  mutable ls_since : int; (* clock () at acquire; guarded by the mutex *)
+}
+
+(* Installed clock, ns.  [None] = timing off (the default): lock and
+   unlock cost two Atomic operations and no syscalls. *)
+let clock : (unit -> int) option ref = ref None
+let timing = Atomic.make false
+
+let enable_timing ~clock:c =
+  clock := Some c;
+  Atomic.set timing true
+
+let disable_timing () = Atomic.set timing false
+
+let now_ns () = match !clock with Some c -> c () | None -> 0
+
+let create name =
+  {
+    ls_name = name;
+    ls_acquires = Atomic.make 0;
+    ls_waits = Atomic.make 0;
+    ls_wait_ns = Atomic.make 0;
+    ls_hold_ns = Atomic.make 0;
+    ls_max_wait_ns = Atomic.make 0;
+    ls_max_hold_ns = Atomic.make 0;
+    ls_since = 0;
+  }
+
+let rec atomic_max cell v =
+  let cur = Atomic.get cell in
+  if v > cur && not (Atomic.compare_and_set cell cur v) then atomic_max cell v
+
+(* The blocked path of {!lock}: cold by construction (the fast path
+   already failed to take the mutex). *)
+let lock_blocked st m =
+  Atomic.incr st.ls_waits;
+  if Atomic.get timing then begin
+    let t0 = now_ns () in
+    Mutex.lock m;
+    let waited = now_ns () - t0 in
+    Atomic.incr st.ls_acquires;
+    ignore (Atomic.fetch_and_add st.ls_wait_ns waited);
+    atomic_max st.ls_max_wait_ns waited;
+    st.ls_since <- now_ns ()
+  end
+  else begin
+    Mutex.lock m;
+    Atomic.incr st.ls_acquires
+  end
+
+let lock st m =
+  if Mutex.try_lock m then begin
+    Atomic.incr st.ls_acquires;
+    if Atomic.get timing then st.ls_since <- now_ns ()
+  end
+  else lock_blocked st m
+
+(* Flush the hold-time of the current critical section; must be called
+   with the mutex held. *)
+let note_hold st =
+  if Atomic.get timing then begin
+    let held = now_ns () - st.ls_since in
+    if held > 0 then begin
+      ignore (Atomic.fetch_and_add st.ls_hold_ns held);
+      atomic_max st.ls_max_hold_ns held
+    end
+  end
+
+let unlock st m =
+  note_hold st;
+  Mutex.unlock m
+
+(* Condition-variable wait on the instrumented mutex.  The wait
+   releases and re-acquires the mutex internally, so the critical
+   section's hold time is split around it; the re-acquire inside
+   [Condition.wait] is not counted as a contended acquisition. *)
+let wait st cond m =
+  note_hold st;
+  Condition.wait cond m;
+  if Atomic.get timing then st.ls_since <- now_ns ()
+
+type snapshot = {
+  name : string;
+  acquires : int;
+  waits : int;
+  wait_ns : int;
+  hold_ns : int;
+  max_wait_ns : int;
+  max_hold_ns : int;
+}
+
+let snapshot st =
+  {
+    name = st.ls_name;
+    acquires = Atomic.get st.ls_acquires;
+    waits = Atomic.get st.ls_waits;
+    wait_ns = Atomic.get st.ls_wait_ns;
+    hold_ns = Atomic.get st.ls_hold_ns;
+    max_wait_ns = Atomic.get st.ls_max_wait_ns;
+    max_hold_ns = Atomic.get st.ls_max_hold_ns;
+  }
+
+let name st = st.ls_name
+let acquires st = Atomic.get st.ls_acquires
+let waits st = Atomic.get st.ls_waits
+
+let reset st =
+  Atomic.set st.ls_acquires 0;
+  Atomic.set st.ls_waits 0;
+  Atomic.set st.ls_wait_ns 0;
+  Atomic.set st.ls_hold_ns 0;
+  Atomic.set st.ls_max_wait_ns 0;
+  Atomic.set st.ls_max_hold_ns 0

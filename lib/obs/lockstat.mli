@@ -1,0 +1,55 @@
+(** Contention accounting for the real mutexes behind the parallel
+    engine (pool lock, per-PVM mm-lock, global-map shard locks).
+
+    Blocked time on an OS mutex never advances the simulated clock, so
+    it is invisible to the cost model; a [Lockstat.t] wraps a mutex's
+    lock/unlock pair and counts acquisitions and contended
+    acquisitions (always on, one Atomic op each), plus wall-clock
+    wait/hold times when timing has been switched on with
+    {!enable_timing}.  Reports read the numbers at quiescence via
+    {!snapshot}; {!Profile.contention} turns a set of snapshots into
+    the contention tree printed by [chorus bench --stats]. *)
+
+type t
+
+val create : string -> t
+(** [create name] — name the lock with ['/'] separators to group it in
+    the contention tree, e.g. ["pvm0/gmap/shard3"]. *)
+
+val enable_timing : clock:(unit -> int) -> unit
+(** Switch on wall-clock wait/hold measurement for {e all} lockstats.
+    [clock] returns nanoseconds (monotonicity is the caller's
+    business; [Obs] deliberately has no clock dependency of its own).
+    Off by default: without it, instrumentation never makes a
+    syscall. *)
+
+val disable_timing : unit -> unit
+
+val lock : t -> Mutex.t -> unit
+(** [lock st m] acquires [m], counting the acquisition and — when it
+    had to block — the contended wait (timed when enabled). *)
+
+val unlock : t -> Mutex.t -> unit
+(** Release [m], accumulating the critical section's hold time when
+    timing is enabled. *)
+
+val wait : t -> Condition.t -> Mutex.t -> unit
+(** [Condition.wait] through the instrumentation: the hold time is
+    split around the wait rather than counting the sleep as lock hold
+    time. *)
+
+type snapshot = {
+  name : string;
+  acquires : int;
+  waits : int; (* acquisitions that found the lock held *)
+  wait_ns : int; (* wall-clock; 0 unless timing was enabled *)
+  hold_ns : int;
+  max_wait_ns : int;
+  max_hold_ns : int;
+}
+
+val snapshot : t -> snapshot
+val name : t -> string
+val acquires : t -> int
+val waits : t -> int
+val reset : t -> unit

@@ -1,103 +1,148 @@
 (* Aggregated observability: counters, sim-time histograms and the
-   per-primitive attribution table.  Updates are plain integer
-   arithmetic — cheap enough to stay always-on — and never advance the
-   simulated clock. *)
+   per-primitive attribution table.  Updates never advance the
+   simulated clock, and since the parallel engine they must also be
+   domain-safe: a fault resolved inside a pool slice observes its
+   latency from a worker domain while another worker charges
+   primitives concurrently.  Every cell is therefore an [Atomic.t] —
+   updates are single fetch-and-adds (CAS loops only for histogram
+   min/max), totals are exact at quiescence, and reads are idempotent
+   snapshots.  Registration (name -> cell lookup) takes a registry
+   mutex; hot paths are expected to register once and keep the
+   handle. *)
 
-type counter = { c_name : string; mutable c_value : int }
+type counter = { c_name : string; c_value : int Atomic.t }
 
 type histogram = {
   h_name : string;
-  mutable h_count : int;
-  mutable h_sum : int;
-  mutable h_min : int;
-  mutable h_max : int;
+  h_count : int Atomic.t;
+  h_sum : int Atomic.t;
+  h_min : int Atomic.t;
+  h_max : int Atomic.t;
 }
 
 type hstats = { count : int; sum : int; min : int; max : int }
 
 type t = {
+  lock : Mutex.t; (* guards the two registration tables only *)
   cs : (string, counter) Hashtbl.t;
   hs : (string, histogram) Hashtbl.t;
   prim_names : string array;
-  prim_count : int array;
-  prim_ns : int array;
+  prim_count : int Atomic.t array;
+  prim_ns : int Atomic.t array;
 }
+
+let acell () = Atomic.make 0
 
 let create ?(prims = [||]) () =
   {
+    lock = Mutex.create ();
     cs = Hashtbl.create 32;
     hs = Hashtbl.create 32;
     prim_names = prims;
-    prim_count = Array.make (Array.length prims) 0;
-    prim_ns = Array.make (Array.length prims) 0;
+    prim_count = Array.init (Array.length prims) (fun _ -> acell ());
+    prim_ns = Array.init (Array.length prims) (fun _ -> acell ());
   }
 
 let reset t =
+  Mutex.lock t.lock;
   Hashtbl.reset t.cs;
   Hashtbl.reset t.hs;
-  Array.fill t.prim_count 0 (Array.length t.prim_count) 0;
-  Array.fill t.prim_ns 0 (Array.length t.prim_ns) 0
+  Mutex.unlock t.lock;
+  Array.iter (fun c -> Atomic.set c 0) t.prim_count;
+  Array.iter (fun c -> Atomic.set c 0) t.prim_ns
 
 let counter t name =
-  match Hashtbl.find_opt t.cs name with
-  | Some c -> c
-  | None ->
-    let c = { c_name = name; c_value = 0 } in
-    Hashtbl.replace t.cs name c;
-    c
+  Mutex.lock t.lock;
+  let c =
+    match Hashtbl.find_opt t.cs name with
+    | Some c -> c
+    | None ->
+      let c = { c_name = name; c_value = acell () } in
+      Hashtbl.replace t.cs name c;
+      c
+  in
+  Mutex.unlock t.lock;
+  c
 
-let incr ?(by = 1) c = c.c_value <- c.c_value + by
-let set c v = c.c_value <- v
-let value c = c.c_value
+let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c.c_value by)
+let set c v = Atomic.set c.c_value v
+let value c = Atomic.get c.c_value
 
 let counters t =
-  Hashtbl.fold (fun _ c acc -> (c.c_name, c.c_value) :: acc) t.cs []
-  |> List.sort compare
+  Mutex.lock t.lock;
+  let cs =
+    Hashtbl.fold (fun _ c acc -> (c.c_name, Atomic.get c.c_value) :: acc) t.cs []
+  in
+  Mutex.unlock t.lock;
+  List.sort compare cs
 
 let histogram t name =
-  match Hashtbl.find_opt t.hs name with
-  | Some h -> h
-  | None ->
-    let h =
-      { h_name = name; h_count = 0; h_sum = 0; h_min = max_int; h_max = 0 }
-    in
-    Hashtbl.replace t.hs name h;
-    h
+  Mutex.lock t.lock;
+  let h =
+    match Hashtbl.find_opt t.hs name with
+    | Some h -> h
+    | None ->
+      let h =
+        {
+          h_name = name;
+          h_count = acell ();
+          h_sum = acell ();
+          h_min = Atomic.make max_int;
+          h_max = acell ();
+        }
+      in
+      Hashtbl.replace t.hs name h;
+      h
+  in
+  Mutex.unlock t.lock;
+  h
+
+let rec atomic_min cell v =
+  let cur = Atomic.get cell in
+  if v < cur && not (Atomic.compare_and_set cell cur v) then atomic_min cell v
+
+let rec atomic_max cell v =
+  let cur = Atomic.get cell in
+  if v > cur && not (Atomic.compare_and_set cell cur v) then atomic_max cell v
 
 let observe h ns =
-  h.h_count <- h.h_count + 1;
-  h.h_sum <- h.h_sum + ns;
-  if ns < h.h_min then h.h_min <- ns;
-  if ns > h.h_max then h.h_max <- ns
+  Atomic.incr h.h_count;
+  ignore (Atomic.fetch_and_add h.h_sum ns);
+  atomic_min h.h_min ns;
+  atomic_max h.h_max ns
 
 let clear_histogram h =
-  h.h_count <- 0;
-  h.h_sum <- 0;
-  h.h_min <- max_int;
-  h.h_max <- 0
+  Atomic.set h.h_count 0;
+  Atomic.set h.h_sum 0;
+  Atomic.set h.h_min max_int;
+  Atomic.set h.h_max 0
 
 let histogram_stats h =
+  let count = Atomic.get h.h_count in
   {
-    count = h.h_count;
-    sum = h.h_sum;
-    min = (if h.h_count = 0 then 0 else h.h_min);
-    max = h.h_max;
+    count;
+    sum = Atomic.get h.h_sum;
+    min = (if count = 0 then 0 else Atomic.get h.h_min);
+    max = Atomic.get h.h_max;
   }
 
 let histograms t =
-  Hashtbl.fold (fun _ h acc -> (h.h_name, histogram_stats h) :: acc) t.hs []
-  |> List.sort compare
+  Mutex.lock t.lock;
+  let hs = Hashtbl.fold (fun _ h acc -> h :: acc) t.hs [] in
+  Mutex.unlock t.lock;
+  List.sort compare (List.map (fun h -> (h.h_name, histogram_stats h)) hs)
 
 let charge t ~idx ~ns =
   if idx >= 0 && idx < Array.length t.prim_count then begin
-    t.prim_count.(idx) <- t.prim_count.(idx) + 1;
-    t.prim_ns.(idx) <- t.prim_ns.(idx) + ns
+    Atomic.incr t.prim_count.(idx);
+    ignore (Atomic.fetch_and_add t.prim_ns.(idx) ns)
   end
 
 let prim_report t =
   Array.to_list
     (Array.mapi
-       (fun i name -> (name, t.prim_count.(i), t.prim_ns.(i)))
+       (fun i name ->
+         (name, Atomic.get t.prim_count.(i), Atomic.get t.prim_ns.(i)))
        t.prim_names)
 
 (* --- Reporting ---------------------------------------------------- *)

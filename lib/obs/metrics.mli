@@ -3,11 +3,16 @@
 
     Unlike {!Trace}, which captures the full event stream, a registry
     only keeps aggregates, so it is always on: updates are integer
-    arithmetic and never touch the simulated clock.  One registry
-    lives on every PVM instance; it subsumes the legacy
-    [Core.Types.stats] counters (published into it on demand) and
-    additionally aggregates fault-resolution latencies and the
-    per-primitive sim-time attribution that the paper's §5.3.2
+    arithmetic and never touch the simulated clock.  Every cell is an
+    [Atomic.t], so updates are domain-safe — pool slices on the
+    parallel engine observe latencies and charge primitives
+    concurrently, and totals are exact at quiescence.  Registration
+    ({!counter}/{!histogram}) takes a registry mutex: hot paths should
+    look a handle up once and keep it rather than resolving the name
+    per event.  One registry lives on every PVM instance; it subsumes
+    the legacy [Core.Types.stats] counters (published into it on
+    demand) and additionally aggregates fault-resolution latencies and
+    the per-primitive sim-time attribution that the paper's §5.3.2
     decomposition is built from. *)
 
 type t
