@@ -823,6 +823,45 @@ let check scenario seeds every_event bundle_dir =
     exit 1
   end
 
+(* Validate the runtime may-hold-while-acquiring pairs recorded by
+   Obs.Lockstat against the hierarchy chorus-lint enforces statically
+   (Lint.Lock_order) — the dynamic half of the L6 loop: the declared
+   order can never silently drift from what the engine actually does.
+   A pair involving a lock class outside the catalogue is itself a
+   violation: every engine mutex must carry its class tag. *)
+let check_order_witnesses ~label =
+  let pairs = Obs.Lockstat.witness_pairs () in
+  let bad =
+    List.filter
+      (fun (held, acq, _) ->
+        match (Lint.Lock_order.of_name held, Lint.Lock_order.of_name acq) with
+        | Some h, Some a -> not (Lint.Lock_order.allows ~held:h ~acq:a)
+        | _ -> true)
+      pairs
+  in
+  if bad = [] then
+    Printf.printf
+      "%s: order witnesses OK — %d pair(s) within the Lint.Lock_order \
+       hierarchy%s\n"
+      label (List.length pairs)
+      (if pairs = [] then ""
+       else
+         ": "
+         ^ String.concat ", "
+             (List.map
+                (fun (h, a, n) -> Printf.sprintf "%s<%s x%d" h a n)
+                pairs))
+  else begin
+    List.iter
+      (fun (h, a, n) ->
+        Printf.eprintf
+          "%s: lock-order violation — acquired %s while holding %s (%d \
+           time(s))\n"
+          label a h n)
+      bad;
+    exit 1
+  end
+
 (* chorus crossval: the oracle-twin gate.  Every scenario runs twice
    from scratch — once on the cooperative sequential engine, once on
    the domain-parallel engine — and the concatenated Inspect digests
@@ -832,6 +871,7 @@ let check scenario seeds every_event bundle_dir =
    genuinely concurrent affinity-classed workers whose final state is
    deterministic by construction. *)
 let crossval domains =
+  Obs.Lockstat.enable_witnessing ();
   let scens =
     List.map
       (fun (name, (body, _)) ->
@@ -843,11 +883,13 @@ let crossval domains =
     (fun o -> Format.printf "%a@." Check.Crossval.pp_outcome o)
     outcomes;
   let bad = List.filter (fun o -> not o.Check.Crossval.o_ok) outcomes in
-  if bad = [] then
+  if bad = [] then begin
     Printf.printf
       "chorus crossval: OK — %d scenario(s) digest-identical, sequential vs \
        %d domain(s)\n"
-      (List.length outcomes) domains
+      (List.length outcomes) domains;
+    check_order_witnesses ~label:"chorus crossval"
+  end
   else begin
     Printf.eprintf "chorus crossval: %d scenario(s) diverged\n"
       (List.length bad);
@@ -872,6 +914,7 @@ let bench domains workers pages rounds with_stats =
   if with_stats then
     Obs.Lockstat.enable_timing ~clock:(fun () ->
         int_of_float (Unix.gettimeofday () *. 1e9));
+  Obs.Lockstat.enable_witnessing ();
   let scen = Check.Crossval.storm ~workers ~pages ~rounds () in
   let run_once d =
     let engine =
@@ -941,7 +984,8 @@ let bench domains workers pages rounds with_stats =
       "chorus bench: parallel digest diverged from the sequential oracle\n";
     exit 1
   end;
-  Printf.printf "  digests match the sequential oracle\n"
+  Printf.printf "  digests match the sequential oracle\n";
+  check_order_witnesses ~label:"chorus bench"
 
 (* chorus explore SCENARIO: systematic schedule exploration with the
    Check.Explore DPOR model checker.  [contend] runs a Model program

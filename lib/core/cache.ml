@@ -59,7 +59,11 @@ let collectable pvm (cache : cache) =
 
 (* Detach [cache]'s fragment links to parents it no longer references;
    collect zombie history chains that become childless. *)
-let rec detach_unreferenced pvm (cache : cache) ~parents_before =
+let[@chorus.guarded
+     "topology surgery: runs only from the owning site's serial-class \
+      fibres or at pool quiescence; the parallel fault path only reads \
+      parent/child lists"] rec detach_unreferenced pvm (cache : cache)
+    ~parents_before =
   note_structure pvm;
   List.iter
     (fun (parent : cache) ->
@@ -172,7 +176,11 @@ let range_has_readers pvm (cache : cache) ~off ~size =
    Mach solves with shadow chains ("the actual reference of a cache
    changes dynamically", §4.2.5); our inverted structures make it a
    pointer splice. *)
-let split_to_zombie pvm (cache : cache) ~off ~size =
+let[@chorus.guarded
+     "topology surgery: runs only from the owning site's serial-class \
+      fibres or at pool quiescence; the parallel fault path only reads \
+      parent/child/history edges"] split_to_zombie pvm (cache : cache) ~off
+    ~size =
   note_structure pvm;
   let z = Install.new_cache pvm ~anonymous:cache.c_anonymous ~is_history:true () in
   z.c_zombie <- true;
@@ -692,7 +700,10 @@ let set_protection pvm (cache : cache) ~offset ~size prot =
 let[@chorus.noted
      "global mark-and-sweep over every map row and pending-stub row; \
       key-set footprints cannot express a whole-table read — see DESIGN.md \
-      §4f"] sweep_zombies pvm =
+      §4f"]
+   [@chorus.guarded
+     "the sweep runs at pool quiescence only: no parallel slice is live \
+      to race the topology edits"] sweep_zombies pvm =
   note_structure pvm;
   let marked = Hashtbl.create 32 in
   (* destination cache id -> source caches its live stubs read *)

@@ -18,7 +18,11 @@ let create pvm =
   ctx
 
 (* context.switch: set the current user context. *)
-let switch pvm (ctx : context) =
+let[@chorus.guarded
+     "pvm.current is written only on the owning process's serial-class \
+      fibre (context switches are serialised by construction); parallel \
+      slices read the context they were handed, not pvm.current"] switch pvm
+    (ctx : context) =
   check_context_alive ctx;
   note_structure pvm;
   pvm.current <- Some ctx
@@ -39,7 +43,10 @@ let find_region (ctx : context) ~addr =
   Fault.find_region ctx ~addr
 
 (* context.destroy *)
-let destroy pvm (ctx : context) =
+let[@chorus.guarded
+     "context destruction runs on the owning process's serial-class fibre \
+      or at pool quiescence; the parallel fault path never dereferences a \
+      context being destroyed"] destroy pvm (ctx : context) =
   check_context_alive ctx;
   List.iter (fun r -> Region.destroy pvm r) ctx.ctx_regions;
   Hw.Mmu.destroy_space ctx.ctx_space;

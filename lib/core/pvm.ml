@@ -25,7 +25,7 @@ let create ?(page_size = 8192) ?(cost = Hw.Cost.chorus_sun360) ?(shards = 8)
     mm_lock = Mutex.create ();
     mm_owner = Atomic.make (-1);
     mm_depth = 0;
-    mm_stat = Obs.Lockstat.create "pvm/mm";
+    mm_stat = Obs.Lockstat.create ~cls:"mm" "pvm/mm";
     stub_sleeps = Atomic.make 0;
     segment_create_hook = None;
     zombie_reaper = None;

@@ -13,7 +13,11 @@ type status = {
 
 (* regionCreate: map a cache window into a context.  Mapping is lazy —
    the cost is independent of the region size (paper §5.3.2). *)
-let create pvm (ctx : context) ~addr ~size ~prot (cache : cache) ~offset =
+let[@chorus.guarded
+     "region mapping edits run on the owning process's serial-class \
+      fibres; parallel slices fault on regions already mapped and only \
+      read ctx_regions/c_mappings"] create pvm (ctx : context) ~addr ~size
+    ~prot (cache : cache) ~offset =
   Region_check.validate ~page_size:(page_size pvm) ~ctx_alive:ctx.ctx_alive
     ~cache_alive:cache.c_alive ~addr ~size ~offset
     ~existing:(List.map (fun r -> (r.r_addr, r.r_size)) ctx.ctx_regions);
@@ -50,7 +54,10 @@ let mapped_page_at pvm (region : region) ~vpn =
 (* region.split (Table 2): cut a region in two at [offset] bytes from
    its start.  Splitting never occurs spontaneously, so upper layers
    can track regions reliably (§3.3.2). *)
-let split pvm (region : region) ~offset =
+let[@chorus.guarded
+     "region mapping edits run on the owning process's serial-class \
+      fibres; parallel slices fault on regions already mapped and only \
+      read ctx_regions/c_mappings"] split pvm (region : region) ~offset =
   check_region_alive region;
   if not (is_page_aligned pvm offset) then invalid_arg "split: unaligned";
   if offset <= 0 || offset >= region.r_size then
@@ -151,7 +158,10 @@ let status (region : region) =
 (* region.destroy (Table 2): unmap the cache window.  Destruction
    invalidates the whole virtual range, so unlike creation its cost
    grows (mildly) with the region size (§5.3.2). *)
-let destroy pvm (region : region) =
+let[@chorus.guarded
+     "region mapping edits run on the owning process's serial-class \
+      fibres; parallel slices fault on regions already mapped and only \
+      read ctx_regions/c_mappings"] destroy pvm (region : region) =
   check_region_alive region;
   if region.r_locked then unlock pvm region;
   spanned pvm "regionDestroy" @@ fun () ->

@@ -26,7 +26,7 @@ let create ?(name = "gmap") ?(shards = 8) () =
             s_lock = Mutex.create ();
             s_tbl = Hashtbl.create 64;
             s_probes = Atomic.make 0;
-            s_stat = Obs.Lockstat.create (Printf.sprintf "%s/shard%d" name i);
+            s_stat = Obs.Lockstat.create ~cls:"shard" (Printf.sprintf "%s/shard%d" name i);
           });
   }
 

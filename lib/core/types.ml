@@ -230,15 +230,25 @@ let next_id pvm = Atomic.fetch_and_add pvm.next_id 1
    lock is reentrant (owner + depth) so compound operations
    (eviction -> page removal -> frame free) can layer their critical
    sections without a self-deadlock.  Holders must not park: the
-   domain would carry the mutex away with it.  Lock order is mm_lock
-   before any Shard_map shard lock, never the reverse — shard
-   operations are leaf Hashtbl accesses.  [mm_enter]/[mm_exit] are the
-   explicit halves for hot paths where the closure argument would
-   itself be a per-call allocation; a section written with the halves
-   must not raise between them. *)
+   domain would carry the mutex away with it.
+
+   The lock hierarchy (pool before mm before shard before cond) is
+   not prose any more: it is declared in [Lint.Lock_order], enforced
+   statically by chorus-lint rules L6–L9 over every engine-facing
+   library, and cross-checked at runtime against the order witnesses
+   [Obs.Lockstat] records under [chorus crossval]/[chorus bench].
+
+   [mm_enter]/[mm_exit] are the explicit halves for hot paths where
+   the closure argument would itself be a per-call allocation; a
+   section written with the halves must not raise between them. *)
 let[@chorus.noted
      "mm_depth is owner-only bookkeeping guarded by mm_lock itself; it is \
-      never part of a slice's shared footprint"] mm_enter pvm =
+      never part of a slice's shared footprint"]
+   [@chorus.balanced
+     "this IS the acquire half of the mm-lock primitive: it deliberately \
+      returns holding the lock (or one level deeper); L9 audits its \
+      callers, which must pair it with mm_exit on every path"] mm_enter pvm
+    =
   if Hw.Engine.in_parallel_slice () then begin
     let me = (Domain.self () :> int) in
     if Atomic.get pvm.mm_owner = me then pvm.mm_depth <- pvm.mm_depth + 1
@@ -251,8 +261,17 @@ let[@chorus.noted
 
 let[@chorus.noted
      "mm_depth is owner-only bookkeeping guarded by mm_lock itself; it is \
-      never part of a slice's shared footprint"] mm_exit pvm =
+      never part of a slice's shared footprint"]
+   [@chorus.balanced
+     "this IS the release half of the mm-lock primitive: it is entered \
+      holding the lock and deliberately returns one level shallower"] mm_exit
+    pvm =
   if Hw.Engine.in_parallel_slice () then begin
+    (* Unpaired exits corrupt mm_depth silently and surface much later
+       as a mutex held (or released) by the wrong domain; fail at the
+       misuse site instead. *)
+    if Atomic.get pvm.mm_owner <> (Domain.self () :> int) then
+      invalid_arg "Types.mm_exit: mm_exit without matching mm_enter";
     pvm.mm_depth <- pvm.mm_depth - 1;
     if pvm.mm_depth = 0 then begin
       Atomic.set pvm.mm_owner (-1);

@@ -159,7 +159,7 @@ let create ?(tie_break = Fifo) ?domains () =
           p_horizon = Sim_time.zero;
           p_cpu = Array.make n Sim_time.zero;
           p_busy = Array.make n 0;
-          p_stat = Obs.Lockstat.create "engine/pool";
+          p_stat = Obs.Lockstat.create ~cls:"pool" "engine/pool";
         }
   in
   {
@@ -776,14 +776,26 @@ let worker eng p =
     done;
     if p.p_stop then Obs.Lockstat.unlock p.p_stat p.p_lock
     else begin
-      let aff = Queue.pop p.runnable in
-      let lane = Hashtbl.find p.lanes aff in
-      let task = Queue.pop lane.l_q in
-      lane.l_busy <- true;
-      p.p_running <- p.p_running + 1;
-      if not task.daemon then eng.live_tasks <- eng.live_tasks - 1;
-      let base = max task.time p.p_cpu.(pick_cpu ()) in
-      Obs.Lockstat.unlock p.p_stat p.p_lock;
+      (* The claim runs under [p_lock]; an exception while it is held
+         (a popped lane vanishing from the table would be an engine
+         bug) must not wedge every other worker on a dead mutex. *)
+      let aff, lane, task, base =
+        Fun.protect
+          ~finally:(fun () -> Obs.Lockstat.unlock p.p_stat p.p_lock)
+          (fun () ->
+            let aff = Queue.pop p.runnable in
+            let lane =
+              match Hashtbl.find_opt p.lanes aff with
+              | Some lane -> lane
+              | None -> invalid_arg "Engine.worker: runnable lane has no queue"
+            in
+            let task = Queue.pop lane.l_q in
+            lane.l_busy <- true;
+            p.p_running <- p.p_running + 1;
+            if not task.daemon then eng.live_tasks <- eng.live_tasks - 1;
+            let base = max task.time p.p_cpu.(pick_cpu ()) in
+            (aff, lane, task, base))
+      in
       let pt = { pt_fib = task.fib; pt_clock = base } in
       Domain.DLS.set cur_ptask (Some pt);
       if Obs.Trace.enabled eng.tracer then Obs.Trace.slice_begin eng.tracer;
@@ -871,11 +883,16 @@ let run_parallel eng p main =
           Obs.Lockstat.unlock p.p_stat p.p_lock;
           loop ())
         else begin
-          let task = Pqueue.pop eng.queue in
-          if not task.daemon then eng.live_tasks <- eng.live_tasks - 1;
-          if task.time > eng.now then eng.now <- task.time;
-          eng.cur_fib <- task.fib;
-          Obs.Lockstat.unlock p.p_stat p.p_lock;
+          let task =
+            Fun.protect
+              ~finally:(fun () -> Obs.Lockstat.unlock p.p_stat p.p_lock)
+              (fun () ->
+                let task = Pqueue.pop eng.queue in
+                if not task.daemon then eng.live_tasks <- eng.live_tasks - 1;
+                if task.time > eng.now then eng.now <- task.time;
+                eng.cur_fib <- task.fib;
+                task)
+          in
           task.run ();
           eng.on_event ();
           loop ()
@@ -910,34 +927,34 @@ let run_fn eng f =
    are byte-identical to the historical implementation. *)
 module Cond = struct
   type t = {
-    m : Mutex.t;
+    cv_lock : Mutex.t;
     mutable parked : (unit -> unit) list;
     mutable owner : int;
     mutable finished : bool;
   }
 
   let create () =
-    { m = Mutex.create (); parked = []; owner = -1; finished = false }
+    { cv_lock = Mutex.create (); parked = []; owner = -1; finished = false }
 
   let wait c =
     suspend (fun resume ->
-        Mutex.lock c.m;
+        Mutex.lock c.cv_lock;
         c.parked <- resume :: c.parked;
-        Mutex.unlock c.m)
+        Mutex.unlock c.cv_lock)
 
   let drain c =
-    Mutex.lock c.m;
+    Mutex.lock c.cv_lock;
     let resumes = List.rev c.parked in
     c.parked <- [];
-    Mutex.unlock c.m;
+    Mutex.unlock c.cv_lock;
     List.iter (fun resume -> resume ()) resumes
 
   let broadcast c = drain c
 
   let finish c =
-    Mutex.lock c.m;
+    Mutex.lock c.cv_lock;
     c.finished <- true;
-    Mutex.unlock c.m;
+    Mutex.unlock c.cv_lock;
     drain c
 
   let finished c = c.finished
@@ -949,14 +966,14 @@ module Cond = struct
              a [finish] racing with this park either sees our resume
              in [parked] or we see [finished] — the lost-wakeup gap of
              a plain wait is closed. *)
-          Mutex.lock c.m;
+          Mutex.lock c.cv_lock;
           if c.finished then begin
-            Mutex.unlock c.m;
+            Mutex.unlock c.cv_lock;
             resume ()
           end
           else begin
             c.parked <- resume :: c.parked;
-            Mutex.unlock c.m
+            Mutex.unlock c.cv_lock
           end)
 
   let waiters c = List.length c.parked

@@ -118,6 +118,10 @@ let waiver_rule_of_attr = function
   | "chorus.spanned" -> Some Finding.L3
   | "chorus.alloc_ok" -> Some Finding.L4
   | "chorus.impure_ok" -> Some Finding.L5
+  | "chorus.lock_order" -> Some Finding.L6
+  | "chorus.guarded" -> Some Finding.L7
+  | "chorus.park_ok" -> Some Finding.L8
+  | "chorus.balanced" -> Some Finding.L9
   | _ -> None
 
 let attr_string_payload (attr : Parsetree.attribute) =
@@ -488,6 +492,8 @@ let resolve_binding ctx ~name ~line =
       | Finding.L2 -> has Sat_wait
       | Finding.L3 -> has Sat_span
       | Finding.L4 | Finding.L5 -> false
+      (* L6-L9 triggers live in the lockset analysis, never here *)
+      | Finding.L6 | Finding.L7 | Finding.L8 | Finding.L9 -> false
     in
     if not (covered || t.t_waived) then
       ctx.findings <-

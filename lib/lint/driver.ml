@@ -48,6 +48,20 @@ let rules_for ~lib ~basename =
     [ Finding.L3; Finding.L4 ]
   else []
 
+(* The concurrency rules run wider than the discipline rules: lib/hw
+   (the engine and its pool lock) and all of lib/obs (Lockstat is the
+   locking primitive) are in scope alongside the engine-task
+   libraries, because that is where the locks actually live.  The
+   charge-only GMI alternatives take no locks but are scanned anyway:
+   a lock introduced there later is in scope from day one. *)
+let lock_rules_for ~lib =
+  if
+    List.mem lib engine_task_libs
+    || List.mem lib charge_only_libs
+    || lib = "hw" || lib = "obs"
+  then [ Finding.L6; Finding.L7; Finding.L8; Finding.L9 ]
+  else []
+
 (* --- .cmt discovery ----------------------------------------------- *)
 
 let rec find_cmts dir acc =
@@ -144,32 +158,43 @@ let run ~roots ~baseline =
     |> List.sort_uniq compare
   in
   let files_scanned = ref 0 in
-  let findings =
+  let units = ref [] in
+  let discipline_findings =
     List.concat_map
       (fun cmt ->
-        match
-          let info = Cmt_format.read_cmt cmt in
-          info.Cmt_format.cmt_sourcefile
-        with
-        | None -> []
-        | Some src -> (
-          match split_lib_path src with
+        match Cmt_format.read_cmt cmt with
+        | info -> (
+          match info.Cmt_format.cmt_sourcefile with
           | None -> []
-          | Some (lib, relpath) when List.mem lib scanned_libs -> (
-            let rules = rules_for ~lib ~basename:(Filename.basename src) in
-            if rules = [] then []
-            else
-              match Analyze.cmt ~file:relpath ~rules cmt with
-              | fs ->
-                incr files_scanned;
-                fs
-              | exception Analyze.Not_an_implementation _ -> [])
-          | Some _ -> [])
+          | Some src -> (
+            match split_lib_path src with
+            | None -> []
+            | Some (lib, relpath) -> (
+              let arules = rules_for ~lib ~basename:(Filename.basename src)
+              and lrules = lock_rules_for ~lib in
+              let rules = arules @ lrules in
+              if rules = [] then []
+              else
+                match info.Cmt_format.cmt_annots with
+                | Cmt_format.Implementation str ->
+                  incr files_scanned;
+                  units :=
+                    {
+                      Lockset.ui_file = relpath;
+                      ui_prefix =
+                        Analyze.normalize_path info.Cmt_format.cmt_modname;
+                      ui_rules = lrules;
+                      ui_str = str;
+                    }
+                    :: !units;
+                  Analyze.structure ~file:relpath ~rules str
+                | _ -> [])))
         | exception _ ->
           Printf.eprintf "chorus-lint: warning: unreadable cmt %s\n" cmt;
           [])
       cmts
   in
+  let findings = discipline_findings @ Lockset.analyze (List.rev !units) in
   (* Partition against the baseline: for each key, the first [allowed]
      findings are suppressed, the rest are new. *)
   let counts = count_by_key findings in
@@ -209,17 +234,61 @@ let pp_stale ppf ((rule, file, scope, detail), allowed, actual) =
 (* --- CLI ---------------------------------------------------------- *)
 
 let usage =
-  "chorus_lint [--baseline FILE] [--update-baseline] [DIR|FILE.cmt ...]\n\n\
+  "chorus_lint [--baseline FILE] [--update-baseline] [--json] [DIR|FILE.cmt \
+   ...]\n\n\
    Static analysis of the chorus annotation disciplines over the .cmt\n\
    typedtrees dune produces (dune build @check).  Default scan root: ./lib.\n\n\
    Rules: L1 footprint soundness, L2 blocking discipline, L3 charge\n\
-   discipline, L4 hot-path allocation, L5 sanitizer purity.\n\
+   discipline, L4 hot-path allocation, L5 sanitizer purity, L6 lock\n\
+   order, L7 lockset / domain safety, L8 no park while holding, L9\n\
+   balanced locking.\n\
+   --json emits the report as a JSON object on stdout for tooling.\n\
    Exit status: 0 clean (or fully baseline-suppressed), 1 findings or\n\
    stale baseline entries, 2 usage/IO error.\n"
+
+(* Hand-rolled JSON so the lint stays dependency-free. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let print_json r =
+  let finding_json (f : Finding.t) =
+    Printf.sprintf
+      "{\"rule\":\"%s\",\"file\":\"%s\",\"line\":%d,\"scope\":\"%s\",\"detail\":\"%s\",\"message\":\"%s\"}"
+      (Finding.rule_name f.Finding.rule)
+      (json_escape f.Finding.file)
+      f.Finding.line
+      (json_escape f.Finding.scope)
+      (json_escape f.Finding.detail)
+      (json_escape f.Finding.message)
+  in
+  let stale_json ((rule, file, scope, detail), allowed, actual) =
+    Printf.sprintf
+      "{\"rule\":\"%s\",\"file\":\"%s\",\"scope\":\"%s\",\"detail\":\"%s\",\"allowed\":%d,\"actual\":%d}"
+      (Finding.rule_name rule) (json_escape file) (json_escape scope)
+      (json_escape detail) allowed actual
+  in
+  Printf.printf
+    "{\"files_scanned\":%d,\"suppressed\":%d,\"new_findings\":[%s],\"stale\":[%s]}\n"
+    r.files_scanned r.suppressed
+    (String.concat "," (List.map finding_json r.new_findings))
+    (String.concat "," (List.map stale_json r.stale))
 
 let main argv =
   let baseline_file = ref None in
   let update = ref false in
+  let json = ref false in
   let roots = ref [] in
   let rec parse = function
     | [] -> Ok ()
@@ -228,6 +297,9 @@ let main argv =
       parse rest
     | "--update-baseline" :: rest ->
       update := true;
+      parse rest
+    | "--json" :: rest ->
+      json := true;
       parse rest
     | ("--help" | "-h") :: _ ->
       print_string usage;
@@ -276,15 +348,18 @@ let main argv =
         0
       end
       else begin
-        List.iter
-          (fun f -> Format.printf "%a@." Finding.pp f)
-          r.new_findings;
-        List.iter (fun s -> Format.printf "%a@." pp_stale s) r.stale;
         let nf = List.length r.new_findings and ns = List.length r.stale in
-        Format.printf
-          "chorus-lint: %d file(s), %d new finding(s), %d suppressed by \
-           baseline, %d stale baseline entr%s@."
-          r.files_scanned nf r.suppressed ns
-          (if ns = 1 then "y" else "ies");
+        if !json then print_json r
+        else begin
+          List.iter
+            (fun f -> Format.printf "%a@." Finding.pp f)
+            r.new_findings;
+          List.iter (fun s -> Format.printf "%a@." pp_stale s) r.stale;
+          Format.printf
+            "chorus-lint: %d file(s), %d new finding(s), %d suppressed by \
+             baseline, %d stale baseline entr%s@."
+            r.files_scanned nf r.suppressed ns
+            (if ns = 1 then "y" else "ies")
+        end;
         if nf = 0 && ns = 0 then 0 else 1
       end)

@@ -18,10 +18,37 @@
    machine-dependent and are reported, never gated on.
 
    [ls_since] is written only while holding the instrumented mutex,
-   so it needs no synchronisation of its own. *)
+   so it needs no synchronisation of its own.
+
+   A third, normally-off tier records *order witnesses*: each lockstat
+   carries a lock-class tag ("pool", "mm", "shard", "cond"), and when
+   witnessing is enabled every acquisition records which classes the
+   acquiring domain already held.  The witness matrix is the observed
+   may-hold-while-acquiring relation; [chorus crossval] and [chorus
+   bench] assert it is a subset of the hierarchy the static lint
+   declares in [Lint.Lock_order], so the catalogue can never silently
+   drift from runtime reality.  (The registration mutex inside
+   [Hw.Engine.Cond] is a raw [Mutex.t], not Lockstat-instrumented, so
+   the cond class appears in the static analysis only — it is a strict
+   leaf with three-line critical sections.) *)
+
+(* The lock classes of Lint.Lock_order plus a bucket for everything
+   else.  Kept as a fixed array: witness recording must be a couple of
+   array operations, never an allocation or a table probe. *)
+let cls_names = [| "pool"; "mm"; "shard"; "cond"; "other" |]
+let n_cls = Array.length cls_names
+
+let cls_index name =
+  let rec go i =
+    if i >= n_cls - 1 then n_cls - 1
+    else if cls_names.(i) = name then i
+    else go (i + 1)
+  in
+  go 0
 
 type t = {
   ls_name : string;
+  ls_cls : int; (* index into [cls_names] *)
   ls_acquires : int Atomic.t;
   ls_waits : int Atomic.t; (* acquisitions that found the lock held *)
   ls_wait_ns : int Atomic.t;
@@ -44,9 +71,57 @@ let disable_timing () = Atomic.set timing false
 
 let now_ns () = match !clock with Some c -> c () | None -> 0
 
-let create name =
+(* --- order witnesses ---------------------------------------------- *)
+
+let witnessing = Atomic.make false
+
+(* witness.(held).(acquired): acquisitions of class [acquired] made
+   while the acquiring domain already held a lock of class [held]. *)
+let witness =
+  Array.init n_cls (fun _ -> Array.init n_cls (fun _ -> Atomic.make 0))
+
+(* Per-domain counts of held locks by class; DLS so recording is two
+   array ops with no synchronisation of its own. *)
+let held_key : int array Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Array.make n_cls 0)
+
+let enable_witnessing () = Atomic.set witnessing true
+let disable_witnessing () = Atomic.set witnessing false
+
+let reset_witnesses () =
+  Array.iter (Array.iter (fun c -> Atomic.set c 0)) witness
+
+let witness_pairs () =
+  let acc = ref [] in
+  for h = n_cls - 1 downto 0 do
+    for a = n_cls - 1 downto 0 do
+      let n = Atomic.get witness.(h).(a) in
+      if n > 0 then acc := (cls_names.(h), cls_names.(a), n) :: !acc
+    done
+  done;
+  !acc
+
+let witness_acquired st =
+  if Atomic.get witnessing then begin
+    let held = Domain.DLS.get held_key in
+    for h = 0 to n_cls - 1 do
+      if held.(h) > 0 then Atomic.incr witness.(h).(st.ls_cls)
+    done;
+    held.(st.ls_cls) <- held.(st.ls_cls) + 1
+  end
+
+let witness_released st =
+  if Atomic.get witnessing then begin
+    let held = Domain.DLS.get held_key in
+    if held.(st.ls_cls) > 0 then held.(st.ls_cls) <- held.(st.ls_cls) - 1
+  end
+
+(* --- construction and the lock/unlock pair ------------------------ *)
+
+let create ?(cls = "other") name =
   {
     ls_name = name;
+    ls_cls = cls_index cls;
     ls_acquires = Atomic.make 0;
     ls_waits = Atomic.make 0;
     ls_wait_ns = Atomic.make 0;
@@ -64,26 +139,34 @@ let rec atomic_max cell v =
    already failed to take the mutex). *)
 let lock_blocked st m =
   Atomic.incr st.ls_waits;
-  if Atomic.get timing then begin
-    let t0 = now_ns () in
-    Mutex.lock m;
-    let waited = now_ns () - t0 in
-    Atomic.incr st.ls_acquires;
-    ignore (Atomic.fetch_and_add st.ls_wait_ns waited);
-    atomic_max st.ls_max_wait_ns waited;
-    st.ls_since <- now_ns ()
-  end
-  else begin
-    Mutex.lock m;
-    Atomic.incr st.ls_acquires
-  end
+  (if Atomic.get timing then begin
+     let t0 = now_ns () in
+     Mutex.lock m;
+     let waited = now_ns () - t0 in
+     Atomic.incr st.ls_acquires;
+     ignore (Atomic.fetch_and_add st.ls_wait_ns waited);
+     atomic_max st.ls_max_wait_ns waited;
+     st.ls_since <- now_ns ()
+   end
+   else begin
+     Mutex.lock m;
+     Atomic.incr st.ls_acquires
+   end);
+  witness_acquired st
+[@@chorus.balanced
+  "this IS the acquire half of the locking primitive: it takes the \
+   mutex and deliberately returns holding it"]
 
 let lock st m =
   if Mutex.try_lock m then begin
     Atomic.incr st.ls_acquires;
-    if Atomic.get timing then st.ls_since <- now_ns ()
+    if Atomic.get timing then st.ls_since <- now_ns ();
+    witness_acquired st
   end
   else lock_blocked st m
+[@@chorus.balanced
+  "this IS the acquire half of the locking primitive: it takes the \
+   mutex and deliberately returns holding it"]
 
 (* Flush the hold-time of the current critical section; must be called
    with the mutex held. *)
@@ -98,15 +181,29 @@ let note_hold st =
 
 let unlock st m =
   note_hold st;
+  witness_released st;
   Mutex.unlock m
+[@@chorus.balanced
+  "this IS the release half of the locking primitive: it is called \
+   holding the mutex and deliberately returns without it"]
 
 (* Condition-variable wait on the instrumented mutex.  The wait
    releases and re-acquires the mutex internally, so the critical
    section's hold time is split around it; the re-acquire inside
-   [Condition.wait] is not counted as a contended acquisition. *)
+   [Condition.wait] is not counted as a contended acquisition, and the
+   held-count is dipped around it so a parked domain does not witness
+   as holding the lock. *)
 let wait st cond m =
   note_hold st;
+  witness_released st;
   Condition.wait cond m;
+  (if Atomic.get witnessing then begin
+     (* Re-acquire: restore the held-count without recording an order
+        pair — the wait protocol requires every *other* lock to have
+        been dropped already, so there is no pair to record. *)
+     let held = Domain.DLS.get held_key in
+     held.(st.ls_cls) <- held.(st.ls_cls) + 1
+   end);
   if Atomic.get timing then st.ls_since <- now_ns ()
 
 type snapshot = {

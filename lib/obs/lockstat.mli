@@ -8,13 +8,24 @@
     wait/hold times when timing has been switched on with
     {!enable_timing}.  Reports read the numbers at quiescence via
     {!snapshot}; {!Profile.contention} turns a set of snapshots into
-    the contention tree printed by [chorus bench --stats]. *)
+    the contention tree printed by [chorus bench --stats].
+
+    A third, normally-off tier records {e order witnesses}: with
+    {!enable_witnessing} on, every acquisition records the lock
+    classes the acquiring domain already holds.  [chorus crossval] and
+    [chorus bench] assert the observed may-hold-while-acquiring pairs
+    are a subset of the static hierarchy in [Lint.Lock_order], so the
+    lint's declared order can never silently drift from runtime
+    reality. *)
 
 type t
 
-val create : string -> t
-(** [create name] — name the lock with ['/'] separators to group it in
-    the contention tree, e.g. ["pvm0/gmap/shard3"]. *)
+val create : ?cls:string -> string -> t
+(** [create ?cls name] — name the lock with ['/'] separators to group
+    it in the contention tree, e.g. ["pvm0/gmap/shard3"].  [cls] tags
+    the lock with its class in the [Lint.Lock_order] hierarchy
+    (["pool"], ["mm"], ["shard"], ["cond"]) for order witnessing;
+    anything else, and the default, buckets as ["other"]. *)
 
 val enable_timing : clock:(unit -> int) -> unit
 (** Switch on wall-clock wait/hold measurement for {e all} lockstats.
@@ -53,3 +64,19 @@ val name : t -> string
 val acquires : t -> int
 val waits : t -> int
 val reset : t -> unit
+
+val enable_witnessing : unit -> unit
+(** Switch on order-witness recording for {e all} lockstats: each
+    acquisition records, per already-held lock class, one
+    may-hold-while-acquiring pair.  Costs a DLS probe and a few array
+    ops per acquisition; off by default. *)
+
+val disable_witnessing : unit -> unit
+
+val reset_witnesses : unit -> unit
+(** Zero the global witness matrix (e.g. between benchmark phases). *)
+
+val witness_pairs : unit -> (string * string * int) list
+(** Observed [(held_class, acquired_class, count)] triples with
+    [count > 0], i.e. the runtime may-hold-while-acquiring relation by
+    class name.  Read at quiescence. *)

@@ -177,6 +177,66 @@ let test_seq_vs_par_span_counts () =
 (* ------------------------------------------------------------------ *)
 (* Fail-fast rejection of the serial-only checkers *)
 
+(* --- order witnesses under reclaim --------------------------------- *)
+
+(* Lockstat's witness matrix must (a) record the mm->shard nesting the
+   reclaim path really performs — victim election under the mm lock
+   probes the global map's shard locks — and (b) contain no pair
+   outside the hierarchy chorus-lint declares in Lint.Lock_order.
+   Zero-fill READ faults over a frame pool smaller than the working
+   set force eviction every round; the pages stay clean, so reclaim
+   needs no backing store. *)
+let test_order_witnesses () =
+  Obs.Lockstat.reset_witnesses ();
+  Obs.Lockstat.enable_witnessing ();
+  let engine = Hw.Engine.create ~domains:2 () in
+  let ps = 8192 in
+  let workers = 4 and pages = 16 and rounds = 3 in
+  ignore
+    (Hw.Engine.run_fn engine (fun () ->
+         let pvm = Core.Pvm.create ~frames:(pages / 2) ~engine () in
+         let ctxs =
+           Array.init workers (fun _ ->
+               let ctx = Core.Context.create pvm in
+               let cache = Core.Cache.create pvm () in
+               let _ =
+                 Core.Region.create pvm ctx ~addr:0 ~size:(pages * ps)
+                   ~prot:Hw.Prot.read_only cache ~offset:0
+               in
+               ctx)
+         in
+         for w = 0 to workers - 1 do
+           Hw.Engine.spawn engine
+             ~name:(Printf.sprintf "witness-%d" w)
+             ~affinity:(w + 1)
+             (fun () ->
+               for r = 0 to rounds - 1 do
+                 for i = 0 to pages - 1 do
+                   let p = (i + w + r) mod pages in
+                   ignore (Core.Pvm.read pvm ctxs.(w) ~addr:(p * ps) ~len:8)
+                 done
+               done)
+         done;
+         [ pvm ]));
+  Obs.Lockstat.disable_witnessing ();
+  let pairs = Obs.Lockstat.witness_pairs () in
+  List.iter
+    (fun (h, a, n) ->
+      let ok =
+        match (Lint.Lock_order.of_name h, Lint.Lock_order.of_name a) with
+        | Some held, Some acq -> Lint.Lock_order.allows ~held ~acq
+        | _ -> false
+      in
+      if not ok then
+        Alcotest.failf
+          "witnessed %s-while-holding-%s (%d time(s)), outside the declared \
+           hierarchy"
+          a h n)
+    pairs;
+  Alcotest.(check bool)
+    "reclaim nests a shard probe under the mm lock" true
+    (List.exists (fun (h, a, _) -> h = "mm" && a = "shard") pairs)
+
 let rejects what f =
   match f () with
   | () -> Alcotest.failf "%s accepted on the parallel engine" what
@@ -216,6 +276,11 @@ let () =
             test_drops_summed;
           Alcotest.test_case "sequential vs 1-domain span counts" `Quick
             test_seq_vs_par_span_counts;
+        ] );
+      ( "order-witnesses",
+        [
+          Alcotest.test_case "reclaim storm stays inside the hierarchy"
+            `Quick test_order_witnesses;
         ] );
       ( "fail-fast",
         [
